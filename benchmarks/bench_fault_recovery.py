@@ -1,0 +1,177 @@
+"""E6 — §3.6 ablation: fault boxes, blast radius, adaptive redundancy.
+
+Three measurements:
+
+1. **Blast radius** — an uncorrectable error hits one app's page; with
+   vertical fault boxes exactly one of N apps is recovered, while the
+   horizontal baseline (state pooled across apps) must recover all N.
+2. **Recovery latency by redundancy mode** — NONE / CHECKPOINT /
+   REPLICATE for the same app after a node crash.
+3. **Redundancy overhead** — what each mode costs during normal
+   operation (the price of the protection).
+"""
+
+import pytest
+
+from repro.bench import Table, build_rig
+from repro.core.fault import (
+    AdaptiveRedundancyPolicy,
+    FaultBoxManager,
+    FaultRecoveryCoordinator,
+    PartialReplicator,
+    RedundancyMode,
+)
+from repro.core.memory import PAGE_SIZE
+from repro.flacdk.alloc import FrameAllocator
+from repro.rack.faults import FaultEvent, FaultKind
+
+N_APPS = 6
+PAGES_PER_APP = 4
+
+
+def _boxes_rig(criticality=1):
+    rig = build_rig()
+    manager = rig.kernel.boxes
+    boxes = []
+    for i in range(N_APPS):
+        box = manager.create_box(rig.c0, f"app{i}", criticality=criticality)
+        va = box.aspace.mmap(rig.c0, PAGES_PER_APP * PAGE_SIZE)
+        for p in range(PAGES_PER_APP):
+            box.aspace.write(rig.c0, va + p * PAGE_SIZE, b"app%d:p%d " % (i, p) * 64)
+        boxes.append((box, va))
+    return rig, manager, boxes
+
+
+def run_blast_radius():
+    rig, manager, boxes = _boxes_rig()
+    for box, _ in boxes:
+        manager.snapshot(rig.c0, box)
+    coordinator = FaultRecoveryCoordinator(manager, AdaptiveRedundancyPolicy())
+    victim_box, victim_va = boxes[2]
+    frame = victim_box.aspace.page_table.try_translate(rig.c0, victim_va).frame_addr
+    rig.align()
+    t0 = rig.c0.now()
+    event = FaultEvent(FaultKind.UNCORRECTABLE, time_ns=t0, addr=frame + 8)
+    report = coordinator.handle_memory_fault(rig.c0, event)
+    vertical_ns = rig.c0.now() - t0
+    vertical_radius = report.blast_radius_boxes
+
+    # horizontal baseline: state pooled -> every app must be recovered
+    t0 = rig.c0.now()
+    for box, _ in boxes:
+        manager.restore(rig.c0, box)
+    horizontal_ns = rig.c0.now() - t0
+    return vertical_radius, vertical_ns, N_APPS, horizontal_ns
+
+
+def run_recovery_modes():
+    results = {}
+    for criticality, label in ((0, "NONE (restart)"), (1, "CHECKPOINT"), (2, "REPLICATE")):
+        rig = build_rig()
+        manager = rig.kernel.boxes
+        box = manager.create_box(rig.c0, "svc", criticality=criticality)
+        va = box.aspace.mmap(rig.c0, PAGES_PER_APP * PAGE_SIZE)
+        for p in range(PAGES_PER_APP):
+            box.aspace.write(rig.c0, va + p * PAGE_SIZE, b"state%d " % p * 100)
+        standby = FrameAllocator(
+            rig.kernel.arena.take(1 << 21, align=PAGE_SIZE), 1 << 21
+        ).format(rig.c0)
+        replicator = PartialReplicator(manager, standby)
+        coordinator = FaultRecoveryCoordinator(
+            manager, AdaptiveRedundancyPolicy(), replicator=replicator
+        )
+        # normal-operation protection cost
+        rig.align()
+        t0 = rig.c0.now()
+        if criticality == 1:
+            manager.snapshot(rig.c0, box)
+        elif criticality == 2:
+            replicator.enable(box)
+            replicator.sync(rig.c0, box)
+        overhead_ns = rig.c0.now() - t0
+        # crash the home node, recover on the survivor
+        rig.machine.crash_node(0)
+        t0 = rig.c1.now()
+        report = coordinator.handle_node_crash(rig.c1, dead_node=0)
+        recovery_ns = rig.c1.now() - t0
+        recovered = report.recoveries[0]
+        state_ok = criticality > 0 and box.aspace.read(rig.c1, va, 6) == b"state0"
+        results[label] = {
+            "mode": recovered.mode,
+            "overhead_ns": overhead_ns,
+            "recovery_ns": recovery_ns,
+            "pages": recovered.pages_restored,
+            "state_ok": state_ok,
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="fault")
+def test_blast_radius(benchmark, emit):
+    vertical_radius, vertical_ns, horizontal_radius, horizontal_ns = benchmark.pedantic(
+        run_blast_radius, rounds=1, iterations=1
+    )
+    table = Table(
+        "E6a — blast radius of one uncorrectable error (6 apps on the rack)",
+        ["isolation", "apps recovered", "recovery time (us)"],
+    )
+    table.add_row("vertical fault boxes", vertical_radius, vertical_ns / 1000)
+    table.add_row("horizontal (pooled state)", horizontal_radius, horizontal_ns / 1000)
+    emit(
+        "E6a_blast_radius",
+        table.render()
+        + f"\nfault boxes recover {horizontal_radius / vertical_radius:.0f}x fewer apps, "
+        f"{horizontal_ns / vertical_ns:.1f}x faster",
+    )
+    assert vertical_radius == 1
+    assert vertical_ns < horizontal_ns
+
+
+@pytest.mark.benchmark(group="fault")
+def test_recovery_modes(benchmark, emit):
+    results = benchmark.pedantic(run_recovery_modes, rounds=1, iterations=1)
+    table = Table(
+        "E6b — recovery by redundancy mode (node crash, 4-page app)",
+        ["mode", "normal-op overhead (us)", "recovery (us)", "pages restored", "state intact"],
+    )
+    for label, r in results.items():
+        table.add_row(
+            label, r["overhead_ns"] / 1000, r["recovery_ns"] / 1000, r["pages"], r["state_ok"]
+        )
+    emit("E6b_recovery_modes", table.render())
+    assert results["NONE (restart)"]["pages"] == 0
+    assert not results["NONE (restart)"]["state_ok"]
+    assert results["CHECKPOINT"]["state_ok"]
+    assert results["REPLICATE"]["state_ok"]
+    assert results["REPLICATE"]["mode"] is RedundancyMode.REPLICATE
+    # protection costs rank: NONE < {CHECKPOINT, REPLICATE}
+    assert results["NONE (restart)"]["overhead_ns"] < results["CHECKPOINT"]["overhead_ns"]
+    assert results["NONE (restart)"]["overhead_ns"] < results["REPLICATE"]["overhead_ns"]
+
+
+@pytest.mark.benchmark(group="fault")
+def test_incremental_replication_overhead(benchmark, emit):
+    """REPLICATE's steady-state cost: only dirtied pages cross at barriers."""
+    rig = benchmark.pedantic(build_rig, rounds=1, iterations=1)
+    manager = rig.kernel.boxes
+    box = manager.create_box(rig.c0, "svc", criticality=2)
+    va = box.aspace.mmap(rig.c0, 16 * PAGE_SIZE)
+    for p in range(16):
+        box.aspace.write(rig.c0, va + p * PAGE_SIZE, b"x" * 64)
+    standby = FrameAllocator(rig.kernel.arena.take(1 << 21, align=PAGE_SIZE), 1 << 21).format(rig.c0)
+    replicator = PartialReplicator(manager, standby)
+    replicator.enable(box)
+    t0 = rig.c0.now()
+    first = replicator.sync(rig.c0, box)
+    full_ns = rig.c0.now() - t0
+    box.aspace.write(rig.c0, va, b"touched")
+    t0 = rig.c0.now()
+    second = replicator.sync(rig.c0, box)
+    incr_ns = rig.c0.now() - t0
+    emit(
+        "E6c_incremental_replication",
+        f"full sync: {first} pages in {full_ns / 1000:.1f} us; "
+        f"incremental: {second} page(s) in {incr_ns / 1000:.1f} us",
+    )
+    assert first == 16 and second == 1
+    assert incr_ns < full_ns

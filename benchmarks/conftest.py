@@ -1,0 +1,23 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench renders its table(s) with the harness and *emits* them:
+printed to stdout (visible with ``pytest -s``) and written under
+``benchmarks/results/`` so a run leaves the regenerated rows on disk.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Container startup on the rack: the §4.2 experiment, step by step.
+
+Node 0 cold-starts the 4 GB PyTorch image (full registry pull).  Node 1
+then starts the same image: FlacOS serves every layer byte from the
+rack-shared page cache node 0 populated — only the manifest still comes
+from the registry.  A second start on node 1 is hot.
+
+Run:  python examples/container_startup.py
+"""
+
+from repro.apps.containers import ContainerRuntime, Registry, pytorch_image
+from repro.bench import build_rig
+from repro.rack import rendezvous
+
+
+def describe(report, elapsed_s=None) -> None:
+    total = elapsed_s if elapsed_s is not None else report.total_s
+    print(f"\n{report.kind} start on node {report.node_id}: {total:.3f} s")
+    parts = [
+        ("manifest fetch", report.manifest_ns),
+        ("layer pull (WAN)", report.pull_ns),
+        ("shared-cache read", report.image_read_ns),
+        ("unpack", report.unpack_ns),
+        ("runtime init", report.runtime_init_ns),
+    ]
+    for label, ns in parts:
+        if ns > 0:
+            print(f"    {label:<18} {ns / 1e9:7.3f} s")
+    if report.shared_cache_hits:
+        print(f"    shared-cache page hits: {report.shared_cache_hits}")
+    if report.registry_bytes:
+        print(f"    bytes pulled from registry: {report.registry_bytes >> 20} MiB")
+
+
+def main() -> None:
+    rig = build_rig()
+    registry = Registry()
+    registry.push(pytorch_image())
+    runtime = ContainerRuntime(rig.kernel.fs, registry)
+
+    cold = runtime.start(rig.c0, "pytorch:2.1")
+    describe(cold)
+
+    # node 1 starts after node 0 finished (the paper's timeline)
+    rendezvous(rig.c0.node.clock, rig.c1.node.clock)
+    t0 = rig.c1.now()
+    shared = runtime.start(rig.c1, "pytorch:2.1")
+    shared_s = (rig.c1.now() - t0) / 1e9
+    describe(shared, elapsed_s=shared_s)
+
+    hot = runtime.start(rig.c1, "pytorch:2.1")
+    describe(hot)
+
+    print(
+        f"\nimprovement from the shared page cache: {cold.total_s / shared_s:.2f}x"
+        f"  (paper: 21.067 s -> 5.526 s = 3.81x; hot 3.02 s)"
+    )
+    print(
+        "note: hot < FlacOS because the shared-cache path still downloads "
+        "image metadata (the manifest), exactly as §4.2 reports"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Rack-level serverless on FlacOS: the §4.1 case study.
+
+Deploys a small image-processing pipeline (decode -> transform ->
+encode), shows the three startup paths, runs the chain across nodes
+over FlacOS IPC vs TCP, and prints the density gain of sharing the
+language runtime rack-wide.
+
+Run:  python examples/serverless_platform.py
+"""
+
+from repro.apps.containers import ContainerRuntime, ImageSpec, LayerSpec, Registry, RuntimeSpec
+from repro.apps.serverless import FunctionSpec, ServerlessPlatform
+from repro.bench import build_rig
+from repro.net import TcpNetwork
+from repro.rack import rendezvous
+
+
+def decode(ctx, payload: bytes) -> bytes:
+    return payload.replace(b"raw:", b"img:")
+
+
+def transform(ctx, payload: bytes) -> bytes:
+    return payload.upper()
+
+
+def encode(ctx, payload: bytes) -> bytes:
+    return b"out:" + payload
+
+
+def main() -> None:
+    rig = build_rig()
+    registry = Registry()
+    registry.push(
+        ImageSpec("py-runtime:3", [LayerSpec("sha256:py" * 16, size_bytes=1 << 22)])
+    )
+    runtime = ContainerRuntime(
+        rig.kernel.fs, registry, RuntimeSpec(runtime_init_ns=8e7)
+    )
+    platform = ServerlessPlatform(
+        rig.machine, runtime, ipc=rig.kernel.ipc, tcp=TcpNetwork()
+    )
+    for name, handler in (("decode", decode), ("transform", transform), ("encode", encode)):
+        platform.deploy(FunctionSpec(name, "py-runtime:3", handler, exec_ns=150_000))
+
+    print("== startup paths ==")
+    _, first = platform.invoke(rig.c0, "decode", b"raw:data")
+    print(f"first invocation  ({first.start_kind}): {first.total_ns / 1e6:9.2f} ms")
+    rendezvous(rig.c0.node.clock, rig.c1.node.clock)
+    _, other = platform.invoke(rig.c1, "decode", b"raw:data")
+    print(f"other node        ({other.start_kind}): {other.total_ns / 1e6:9.2f} ms")
+    _, warm = platform.invoke(rig.c1, "decode", b"raw:data")
+    print(f"repeat            ({warm.start_kind}): {warm.total_ns / 1e6:9.2f} ms")
+
+    print("\n== 3-stage chain across nodes ==")
+    placements = [("decode", rig.c0), ("transform", rig.c1), ("encode", rig.c0)]
+    for name, ctx in placements:  # warm all stages
+        platform.invoke(ctx, name, b"raw:warm")
+    for transport in ("flacos", "tcp"):
+        rig.align()
+        result, report = platform.invoke_chain(
+            rig.c0, placements, b"raw:pixels" * 1000, transport=transport
+        )
+        print(
+            f"{transport:<7} comm {report.comm_ns / 1e3:8.1f} us, "
+            f"end-to-end {report.total_ns / 1e3:8.1f} us"
+        )
+    assert result.startswith(b"out:IMG:")
+
+    print("\n== density under a 4 GiB node budget ==")
+    budget = 4 << 30
+    shared = platform.density("decode", budget, shared_runtime=True)
+    private = platform.density("decode", budget, shared_runtime=False)
+    print(f"shared runtime (FlacOS): {shared} sandboxes")
+    print(f"private runtimes       : {private} sandboxes")
+    print(f"density gain           : {shared / private:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

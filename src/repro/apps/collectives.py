@@ -1,0 +1,198 @@
+"""HPC collective communication over shared memory — the §3.4 scenario.
+
+The paper's third memory-FS customer: "data sharing and collective
+communication in HPC applications".  Two collectives, each two ways:
+
+* **broadcast** — FlacOS: the root publishes one copy in global memory
+  and every rank reads it in place; baseline: a TCP binomial tree that
+  forwards the full payload log2(N) deep.
+* **allreduce** (sum of float64 vectors) — FlacOS: ranks accumulate
+  into a shared buffer serialised by a ticket, then read the result in
+  place; baseline: a TCP ring allreduce (2·(N−1) payload transfers per
+  rank pair).
+
+Ranks map onto rack nodes round-robin; simulated cost comes from the
+usual substrate charging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.ipc import BufferPool
+from ..net.tcp import TcpNetwork
+from ..rack.machine import NodeContext
+
+
+@dataclass
+class CollectiveReport:
+    collective: str
+    strategy: str
+    n_ranks: int
+    payload_bytes: int
+    makespan_ns: float
+    bytes_over_wire: int
+
+
+class SharedMemoryCollectives:
+    """Collectives through global memory (the FlacOS way)."""
+
+    def __init__(self, buffers: BufferPool, ctrl_base: int) -> None:
+        self.buffers = buffers
+        #: control words: +0 broadcast ref addr, +8 ref len, +16 ticket,
+        #: +24 arrivals
+        self.ctrl = ctrl_base
+
+    def format(self, ctx: NodeContext) -> "SharedMemoryCollectives":
+        for off in range(0, 32, 8):
+            ctx.atomic_store(self.ctrl + off, 0)
+        return self
+
+    # -- broadcast ----------------------------------------------------------------
+
+    def broadcast(
+        self, root: NodeContext, ranks: Sequence[NodeContext], payload: bytes
+    ) -> CollectiveReport:
+        start = max(c.now() for c in ranks)
+        ref = self.buffers.put(root, payload)
+        root.atomic_store(self.ctrl, ref.addr)
+        root.atomic_store(self.ctrl + 8, ref.length)
+        for rank in ranks:
+            if rank.node_id == root.node_id:
+                continue
+            rank.node.clock.sync_to(root.now())
+            addr = rank.atomic_load(self.ctrl)
+            length = rank.atomic_load(self.ctrl + 8)
+            rank.invalidate(addr, length)
+            data = rank.load(addr, length)
+            assert data == payload
+        makespan = max(c.now() for c in ranks) - start
+        self.buffers.free(root, ref)
+        return CollectiveReport(
+            "broadcast", "flacos", len(ranks), len(payload), makespan, bytes_over_wire=0
+        )
+
+    # -- allreduce -------------------------------------------------------------------
+
+    def allreduce_sum(
+        self, ranks: Sequence[NodeContext], vectors: Dict[int, np.ndarray]
+    ) -> tuple:
+        """Sum float64 vectors across ranks; returns (result, report).
+
+        Ranks take a ticket and accumulate in turn into the shared
+        buffer (tree/atomic-float hardware would parallelise this; the
+        serialised version is the portable lower bound).
+        """
+        n = len(ranks)
+        length = len(next(iter(vectors.values())))
+        payload_bytes = length * 8
+        start = max(c.now() for c in ranks)
+        root = ranks[0]
+        acc_ref = self.buffers.put(root, bytes(payload_bytes))
+        root.atomic_store(self.ctrl, acc_ref.addr)
+        root.atomic_store(self.ctrl + 16, 0)
+        previous = root
+        for i, rank in enumerate(ranks):
+            rank.node.clock.sync_to(previous.now())
+            ticket = rank.fetch_add(self.ctrl + 16, 1)
+            assert ticket == i
+            rank.invalidate(acc_ref.addr, payload_bytes)
+            current = np.frombuffer(rank.load(acc_ref.addr, payload_bytes), dtype=np.float64)
+            updated = current + vectors[i]
+            rank.store(acc_ref.addr, updated.tobytes())
+            rank.flush(acc_ref.addr, payload_bytes)
+            rank.advance(length * 1.0)  # the FP adds themselves
+            previous = rank
+        # everyone reads the final sum in place
+        for rank in ranks:
+            rank.node.clock.sync_to(previous.now())
+            rank.invalidate(acc_ref.addr, payload_bytes)
+            result = np.frombuffer(rank.load(acc_ref.addr, payload_bytes), dtype=np.float64)
+        makespan = max(c.now() for c in ranks) - start
+        self.buffers.free(root, acc_ref)
+        report = CollectiveReport(
+            "allreduce", "flacos", n, payload_bytes, makespan, bytes_over_wire=0
+        )
+        return result.copy(), report
+
+
+class TcpCollectives:
+    """The cluster baseline: binomial-tree broadcast, ring allreduce."""
+
+    def __init__(self, network: Optional[TcpNetwork] = None) -> None:
+        self.network = network or TcpNetwork()
+        self._conns: Dict[tuple, object] = {}
+        self.bytes_over_wire = 0
+
+    def _conn(self, a: NodeContext, b: NodeContext):
+        key = (min(a.node_id, b.node_id), max(a.node_id, b.node_id))
+        conn = self._conns.get(key)
+        if conn is None:
+            name = f"coll:{key}"
+            self.network.listen(b, name)
+            conn = self.network.connect(a, name)
+            self._conns[key] = conn
+        return conn
+
+    def _send(self, src: NodeContext, dst: NodeContext, payload: bytes) -> bytes:
+        if src.node_id == dst.node_id:
+            src.advance(len(payload) * 0.05)  # local memcpy
+            dst.node.clock.sync_to(src.now())
+            return payload
+        conn = self._conn(src, dst)
+        conn.send(src, payload)
+        received = conn.recv(dst)
+        self.bytes_over_wire += len(payload)
+        return received
+
+    def broadcast(
+        self, root_idx: int, ranks: Sequence[NodeContext], payload: bytes
+    ) -> CollectiveReport:
+        start = max(c.now() for c in ranks)
+        have = {root_idx}
+        # binomial tree: in round k, everyone who has it sends distance 2^k
+        distance = 1
+        n = len(ranks)
+        while len(have) < n:
+            for src in sorted(have):
+                dst = src + distance
+                if dst < n and dst not in have:
+                    got = self._send(ranks[src], ranks[dst], payload)
+                    assert got == payload
+                    have.add(dst)
+            distance *= 2
+        makespan = max(c.now() for c in ranks) - start
+        return CollectiveReport(
+            "broadcast", "tcp", n, len(payload), makespan, self.bytes_over_wire
+        )
+
+    def allreduce_sum(
+        self, ranks: Sequence[NodeContext], vectors: Dict[int, np.ndarray]
+    ) -> tuple:
+        """Ring allreduce: 2(N-1) neighbour transfers of the full vector
+        (the chunked variant has the same total bytes; this models it)."""
+        n = len(ranks)
+        length = len(next(iter(vectors.values())))
+        start = max(c.now() for c in ranks)
+        current = {i: vectors[i].copy() for i in range(n)}
+        # reduce phase: pass and accumulate around the ring
+        running = current[0].copy()
+        for i in range(1, n):
+            blob = running.tobytes()
+            got = self._send(ranks[i - 1], ranks[i], blob)
+            running = np.frombuffer(got, dtype=np.float64) + current[i]
+            ranks[i].advance(length * 1.0)
+        # broadcast phase: final sum travels back around
+        final = running.copy()
+        for i in range(n - 1):
+            blob = final.tobytes()
+            got = self._send(ranks[(n - 1 + i) % n], ranks[(n + i) % n], blob)
+            final = np.frombuffer(got, dtype=np.float64).copy()
+        makespan = max(c.now() for c in ranks) - start
+        report = CollectiveReport(
+            "allreduce", "tcp", n, length * 8, makespan, self.bytes_over_wire
+        )
+        return running.copy(), report

@@ -1,0 +1,98 @@
+"""RESP (REdis Serialization Protocol) encode/decode.
+
+MiniRedis speaks real RESP2 so the transport carries exactly the bytes
+a Redis deployment would: commands as arrays of bulk strings, replies
+as simple strings, errors, integers, bulk strings, or arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+CRLF = b"\r\n"
+
+
+class RespError(Exception):
+    """Protocol-level parse failure."""
+
+
+class RedisError(Exception):
+    """An ``-ERR ...`` reply, surfaced client-side."""
+
+
+def encode_command(*parts: bytes) -> bytes:
+    """Encode a command as an array of bulk strings."""
+    out = [b"*%d" % len(parts), CRLF]
+    for part in parts:
+        out += [b"$%d" % len(part), CRLF, part, CRLF]
+    return b"".join(out)
+
+
+def encode_reply(value: Any) -> bytes:
+    """Encode a server reply.
+
+    ``None`` -> null bulk, int -> integer, bytes -> bulk string,
+    str -> simple string, Exception -> error, list -> array.
+    """
+    if value is None:
+        return b"$-1" + CRLF
+    if isinstance(value, bool):
+        return b":%d" % int(value) + CRLF
+    if isinstance(value, int):
+        return b":%d" % value + CRLF
+    if isinstance(value, bytes):
+        return b"$%d" % len(value) + CRLF + value + CRLF
+    if isinstance(value, str):
+        return b"+" + value.encode() + CRLF
+    if isinstance(value, Exception):
+        return b"-ERR " + str(value).encode() + CRLF
+    if isinstance(value, (list, tuple)):
+        return b"*%d" % len(value) + CRLF + b"".join(encode_reply(v) for v in value)
+    raise RespError(f"cannot encode {type(value).__name__}")
+
+
+def decode(data: bytes) -> Tuple[Any, bytes]:
+    """Decode one RESP value; returns (value, remaining bytes)."""
+    if not data:
+        raise RespError("empty buffer")
+    kind, rest = data[:1], data[1:]
+    line, rest = _take_line(rest)
+    if kind == b"+":
+        return line.decode(), rest
+    if kind == b"-":
+        message = line.decode()
+        return RedisError(message[4:] if message.startswith("ERR ") else message), rest
+    if kind == b":":
+        return int(line), rest
+    if kind == b"$":
+        length = int(line)
+        if length == -1:
+            return None, rest
+        if len(rest) < length + 2:
+            raise RespError("truncated bulk string")
+        return rest[:length], rest[length + 2 :]
+    if kind == b"*":
+        count = int(line)
+        items: List[Any] = []
+        for _ in range(count):
+            item, rest = decode(rest)
+            items.append(item)
+        return items, rest
+    raise RespError(f"unknown RESP type {kind!r}")
+
+
+def decode_command(data: bytes) -> List[bytes]:
+    """Decode a client command (array of bulk strings)."""
+    value, rest = decode(data)
+    if rest:
+        raise RespError("trailing bytes after command")
+    if not isinstance(value, list) or not all(isinstance(v, bytes) for v in value):
+        raise RespError("commands must be arrays of bulk strings")
+    return value
+
+
+def _take_line(data: bytes) -> Tuple[bytes, bytes]:
+    idx = data.find(CRLF)
+    if idx < 0:
+        raise RespError("missing CRLF")
+    return data[:idx], data[idx + 2 :]

@@ -1,0 +1,24 @@
+"""The FlacOS kernel: the paper's primary contribution (§3).
+
+``FlacOS.boot(machine)`` wires the memory system (§3.3), FlacFS (§3.4),
+IPC/RPC (§3.5), and fault boxes with adaptive redundancy (§3.6) over a
+simulated rack.
+"""
+
+from . import boot, devices, fault, fs, interrupts, ipc, memory, sched
+from .kernel import FlacOS, NodeOS
+from .params import OsCosts
+
+__all__ = [
+    "FlacOS",
+    "NodeOS",
+    "OsCosts",
+    "boot",
+    "devices",
+    "fault",
+    "fs",
+    "interrupts",
+    "ipc",
+    "memory",
+    "sched",
+]

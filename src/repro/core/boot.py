@@ -1,0 +1,205 @@
+"""System bootstrapping over shared memory (§5 "Open Challenges").
+
+The paper: hardware-description structures (memory topology, bus
+hierarchy) should live in shared memory so every node discovers the
+rack's resources from one place, FDT/ACPI style.  This module is a
+small flattened-device-tree implementation: node 0's "BIOS" builds the
+rack description, flattens it to bytes at a well-known global address,
+and every other node parses the same bytes at boot.
+
+Format (all little-endian)::
+
+    header:  magic u32 | total size u32
+    node:    0x01 | name (nul-terminated)
+    prop:    0x03 | name (nul) | value length u32 | value bytes
+    end node: 0x02
+    end tree: 0x09
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..rack.machine import NodeContext, RackMachine
+
+_MAGIC = 0xD00DFEED  # the real FDT magic, as a nod
+_BEGIN_NODE = 0x01
+_END_NODE = 0x02
+_PROP = 0x03
+_END_TREE = 0x09
+
+PropertyValue = Union[int, str, bytes]
+
+
+class DeviceTreeError(Exception):
+    pass
+
+
+@dataclass
+class DtNode:
+    """One node of the hardware description tree."""
+
+    name: str
+    properties: Dict[str, bytes] = field(default_factory=dict)
+    children: List["DtNode"] = field(default_factory=list)
+
+    def set_prop(self, name: str, value: PropertyValue) -> "DtNode":
+        if isinstance(value, int):
+            self.properties[name] = struct.pack("<Q", value)
+        elif isinstance(value, str):
+            self.properties[name] = value.encode() + b"\x00"
+        else:
+            self.properties[name] = bytes(value)
+        return self
+
+    def get_u64(self, name: str) -> int:
+        return struct.unpack("<Q", self.properties[name])[0]
+
+    def get_str(self, name: str) -> str:
+        return self.properties[name].rstrip(b"\x00").decode()
+
+    def add_child(self, name: str) -> "DtNode":
+        child = DtNode(name)
+        self.children.append(child)
+        return child
+
+    def child(self, name: str) -> "DtNode":
+        for child in self.children:
+            if child.name == name:
+                return child
+        raise KeyError(f"no child {name!r} under {self.name!r}")
+
+    def find(self, path: str) -> "DtNode":
+        """Resolve a /-separated path from this node."""
+        node = self
+        for part in (p for p in path.split("/") if p):
+            node = node.child(part)
+        return node
+
+
+def flatten(root: DtNode) -> bytes:
+    """Serialise the tree (FDT style)."""
+    body = bytearray()
+
+    def emit(node: DtNode) -> None:
+        body.append(_BEGIN_NODE)
+        body.extend(node.name.encode() + b"\x00")
+        for name, value in sorted(node.properties.items()):
+            body.append(_PROP)
+            body.extend(name.encode() + b"\x00")
+            body.extend(struct.pack("<I", len(value)))
+            body.extend(value)
+        for child in node.children:
+            emit(child)
+        body.append(_END_NODE)
+
+    emit(root)
+    body.append(_END_TREE)
+    return struct.pack("<II", _MAGIC, 8 + len(body)) + bytes(body)
+
+
+def unflatten(blob: bytes) -> DtNode:
+    """Parse a flattened tree back into :class:`DtNode` form."""
+    if len(blob) < 8:
+        raise DeviceTreeError("blob too small for a header")
+    magic, total = struct.unpack("<II", blob[:8])
+    if magic != _MAGIC:
+        raise DeviceTreeError(f"bad magic {magic:#x}")
+    if total > len(blob):
+        raise DeviceTreeError("truncated blob")
+    pos = 8
+    stack: List[DtNode] = []
+    root: Optional[DtNode] = None
+    while pos < total:
+        token = blob[pos]
+        pos += 1
+        if token == _BEGIN_NODE:
+            end = blob.index(b"\x00", pos)
+            node = DtNode(blob[pos:end].decode())
+            pos = end + 1
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                root = node
+            stack.append(node)
+        elif token == _PROP:
+            end = blob.index(b"\x00", pos)
+            name = blob[pos:end].decode()
+            pos = end + 1
+            (length,) = struct.unpack("<I", blob[pos : pos + 4])
+            pos += 4
+            stack[-1].properties[name] = blob[pos : pos + length]
+            pos += length
+        elif token == _END_NODE:
+            stack.pop()
+        elif token == _END_TREE:
+            break
+        else:
+            raise DeviceTreeError(f"unknown token {token:#x} at {pos - 1}")
+    if root is None or stack:
+        raise DeviceTreeError("unbalanced tree")
+    return root
+
+
+def rack_description(machine: RackMachine) -> DtNode:
+    """Build the rack's hardware description (what the BIOS advertises)."""
+    root = DtNode("rack")
+    root.set_prop("compatible", "flacos,rack-v1")
+    root.set_prop("#nodes", len(machine.nodes))
+
+    memory = root.add_child("memory")
+    gmem = memory.add_child("global")
+    gmem.set_prop("base", machine.global_base)
+    gmem.set_prop("size", machine.global_size)
+    gmem.set_prop("coherent", 0)
+    for node_id, node in machine.nodes.items():
+        local = memory.add_child(f"local@{node_id}")
+        local.set_prop("base", machine.local_base(node_id))
+        local.set_prop("size", node.local_mem.size)
+        local.set_prop("owner", node_id)
+
+    cpus = root.add_child("cpus")
+    for node_id, node in machine.nodes.items():
+        cpu = cpus.add_child(f"node@{node_id}")
+        cpu.set_prop("cores", node.n_cores)
+
+    fabric = root.add_child("fabric")
+    fabric.set_prop("topology", machine.config.topology)
+    for node_id in machine.nodes:
+        port = fabric.add_child(f"port@{node_id}")
+        cost = machine.fabric.path_to_gmem(node_id)
+        port.set_prop("hops", cost.hops)
+        port.set_prop("switches", cost.switches)
+    return root
+
+
+class BootRom:
+    """Publishes / discovers the rack description through global memory.
+
+    Node 0 calls :meth:`publish` once ("BIOS"); every node then calls
+    :meth:`discover` and parses the same shared bytes — no per-node
+    configuration files, the §5 bootstrapping story.
+    """
+
+    def __init__(self, base: int, capacity: int = 1 << 16) -> None:
+        self.base = base
+        self.capacity = capacity
+
+    def publish(self, ctx: NodeContext, root: DtNode) -> int:
+        blob = flatten(root)
+        if len(blob) > self.capacity:
+            raise DeviceTreeError(
+                f"description of {len(blob)} B exceeds rom capacity {self.capacity}"
+            )
+        ctx.store(self.base, blob, bypass_cache=True)
+        return len(blob)
+
+    def discover(self, ctx: NodeContext) -> DtNode:
+        header = ctx.load(self.base, 8, bypass_cache=True)
+        magic, total = struct.unpack("<II", header)
+        if magic != _MAGIC:
+            raise DeviceTreeError("no description published yet")
+        blob = ctx.load(self.base, total, bypass_cache=True)
+        return unflatten(blob)

@@ -1,0 +1,36 @@
+"""FlacOS system-wide reliability (§3.6).
+
+The fault-box abstraction (vertical per-application state
+consolidation), adaptive redundancy (checkpoint / partial replication /
+n-modular execution), and the recovery coordinator that bounds blast
+radius to the boxes a fault actually touches.
+"""
+
+from .fault_box import BoxSnapshot, FaultBox, FaultBoxManager
+from .nmodular import NModularExecutor, VoteResult, VotingFailure
+from .recovery import BoxRecovery, FaultRecoveryCoordinator, IncidentReport
+from .redundancy import (
+    AdaptiveRedundancyPolicy,
+    CheckpointSchedule,
+    RedundancyDecision,
+    RedundancyMode,
+)
+from .replication import PartialReplicator, ReplicaState
+
+__all__ = [
+    "AdaptiveRedundancyPolicy",
+    "BoxRecovery",
+    "BoxSnapshot",
+    "CheckpointSchedule",
+    "FaultBox",
+    "FaultBoxManager",
+    "FaultRecoveryCoordinator",
+    "IncidentReport",
+    "NModularExecutor",
+    "PartialReplicator",
+    "RedundancyDecision",
+    "RedundancyMode",
+    "ReplicaState",
+    "VoteResult",
+    "VotingFailure",
+]

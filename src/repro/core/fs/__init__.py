@@ -1,0 +1,49 @@
+"""FlacFS — the FlacOS file system (§3.4).
+
+Shared page cache in global memory (multi-version updates, async
+write-back), node-local replicated metadata with bulk sync, op-log
+journaling, and a node-local block layer.  ``PrivateCacheFS`` is the
+per-node-cache baseline for the E4 ablation.
+"""
+
+from .block import BlockAllocator, BlockDevice, BlockDeviceError, BlockDeviceSpec
+from .filesystem import FlacFS, OpenFile, PrivateCacheFS
+from .journal import JournalRecord, MetadataJournal
+from .metadata import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    FsError,
+    Inode,
+    IsADirectory,
+    MetadataStore,
+    NotADirectory,
+    ROOT_INO,
+)
+from .page_cache import PAGE_SIZE, PageCacheError, PageCacheStats, SharedPageCache, cache_key
+
+__all__ = [
+    "BlockAllocator",
+    "BlockDevice",
+    "BlockDeviceError",
+    "BlockDeviceSpec",
+    "DirectoryNotEmpty",
+    "FileExists",
+    "FileNotFound",
+    "FlacFS",
+    "FsError",
+    "Inode",
+    "IsADirectory",
+    "JournalRecord",
+    "MetadataJournal",
+    "MetadataStore",
+    "NotADirectory",
+    "OpenFile",
+    "PAGE_SIZE",
+    "PageCacheError",
+    "PageCacheStats",
+    "PrivateCacheFS",
+    "ROOT_INO",
+    "SharedPageCache",
+    "cache_key",
+]

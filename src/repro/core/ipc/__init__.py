@@ -1,0 +1,43 @@
+"""FlacOS communication subsystem (§3.5).
+
+Zero-copy shared-buffer sockets (domain-socket API), the replicated
+name registry, migration-based RPC with shared code contexts, and
+process migration over shared state.
+"""
+
+from .migration import MigrationReport, ProcessMigrator
+from .registry import Endpoint, NameInUse, NameRegistry, RegistryError, UnknownName
+from .rpc import RpcError, RpcStats, RpcSystem
+from .shared_buffer import PACKED_SIZE, BufferPool, BufferRef
+from .socket import (
+    Connection,
+    ConnectionClosed,
+    ConnectionGeometry,
+    INLINE_MAX,
+    IpcError,
+    IpcSystem,
+    ListenSocket,
+)
+
+__all__ = [
+    "BufferPool",
+    "BufferRef",
+    "Connection",
+    "ConnectionClosed",
+    "ConnectionGeometry",
+    "Endpoint",
+    "INLINE_MAX",
+    "IpcError",
+    "IpcSystem",
+    "ListenSocket",
+    "MigrationReport",
+    "NameInUse",
+    "NameRegistry",
+    "PACKED_SIZE",
+    "ProcessMigrator",
+    "RegistryError",
+    "RpcError",
+    "RpcStats",
+    "RpcSystem",
+    "UnknownName",
+]

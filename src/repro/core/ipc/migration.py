@@ -1,0 +1,95 @@
+"""Process migration over shared state (§3.5).
+
+Because an address space's page table and its GLOBAL-placement pages
+already live in global memory, migrating a process between nodes moves
+almost nothing: install the address space on the target, copy only the
+LOCAL-placement pages (private DRAM is not reachable cross-node), and
+hand over a small context record.  The cost is dominated by those local
+pages — a process whose hot state is global migrates in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...rack.machine import NodeContext
+from ..memory import AddressSpace, MemorySystem, PAGE_SIZE, Placement
+from ..params import OsCosts
+
+
+@dataclass
+class MigrationReport:
+    asid: int
+    from_node: int
+    to_node: int
+    local_pages_copied: int
+    global_pages_shared: int
+    duration_ns: float
+
+
+class ProcessMigrator:
+    """Moves processes between nodes using the shared memory system."""
+
+    def __init__(self, memsys: MemorySystem, costs: OsCosts = OsCosts()) -> None:
+        self.memsys = memsys
+        self.costs = costs
+
+    def migrate(
+        self, src: NodeContext, dst: NodeContext, aspace: AddressSpace
+    ) -> MigrationReport:
+        """Migrate ``aspace``'s process from ``src``'s node to ``dst``'s.
+
+        GLOBAL pages need no movement — the shared page table already
+        maps them and the destination reaches them directly.  LOCAL
+        pages are copied through a bounce buffer in global memory (the
+        only rack-visible path between two private DRAMs).
+        """
+        start = max(src.now(), dst.now())
+        src.advance(self.costs.context_switch_ns)
+
+        # publish anything the source still holds in its cache — one pass
+        # over the cache, not a walk of the shared page table (scanning a
+        # radix tree in global memory costs hundreds of microseconds)
+        self.memsys.machine.flush_all(src.node_id)
+        # global page count comes from kernel-local bookkeeping (rmap)
+        global_pages = sum(
+            1
+            for frame in self.memsys.rmap.frames()
+            if self.memsys.machine.is_global_addr(frame)
+            and any(asid == aspace.asid for asid, _ in self.memsys.rmap.refs(frame))
+        )
+
+        self.memsys.install(dst, aspace)
+
+        # copy LOCAL-placement pages via a global bounce buffer
+        local_pages = 0
+        src_ptes = aspace._local_ptes.get(src.node_id, {})
+        if src_ptes:
+            bounce = self.memsys.global_frames.alloc(src)
+            dst_ptes = aspace._local_ptes.setdefault(dst.node_id, {})
+            for vpn, translation in sorted(src_ptes.items()):
+                content = src.load(translation.frame_addr, PAGE_SIZE)
+                src.store(bounce, content, bypass_cache=True)
+                dst.node.clock.sync_to(src.now())
+                new_frame = self.memsys._alloc_frame(dst, Placement.LOCAL)
+                dst.store(new_frame, dst.load(bounce, PAGE_SIZE, bypass_cache=True), bypass_cache=True)
+                dst_ptes[vpn] = type(translation)(frame_addr=new_frame, flags=translation.flags)
+                self.memsys.rmap.add(new_frame, aspace.asid, vpn)
+                self.memsys.rmap.remove(translation.frame_addr, aspace.asid, vpn)
+                self.memsys._free_frame(src, translation.frame_addr, Placement.LOCAL)
+                local_pages += 1
+            aspace._local_ptes[src.node_id] = {}
+            self.memsys.global_frames.free(src, bounce)
+
+        # the destination must not trust stale cached lines for shared pages
+        self.memsys.tlbs[dst.node_id].invalidate_asid(dst, aspace.asid)
+        dst.advance(self.costs.context_switch_ns)
+        dst.node.clock.sync_to(src.now())
+        return MigrationReport(
+            asid=aspace.asid,
+            from_node=src.node_id,
+            to_node=dst.node_id,
+            local_pages_copied=local_pages,
+            global_pages_shared=global_pages,
+            duration_ns=dst.now() - start,
+        )

@@ -1,0 +1,66 @@
+"""Shared data buffers for zero-copy IPC (§3.5).
+
+Payloads are written once into global memory by the sender and read in
+place by the receiver — no kernel copies, no wire.  What travels through
+the control ring is a 16-byte descriptor.  The access pattern is
+streaming (producer writes, flushes; consumer invalidates, reads), which
+is exactly the case the paper calls easy to synchronise on non-coherent
+memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ...flacdk.alloc import SharedHeap
+from ...rack.machine import NodeContext
+
+
+@dataclass(frozen=True)
+class BufferRef:
+    """Descriptor for a payload resident in a shared buffer."""
+
+    addr: int
+    length: int
+
+    def pack(self) -> bytes:
+        return struct.pack("<QQ", self.addr, self.length)
+
+    @staticmethod
+    def unpack(data: bytes) -> "BufferRef":
+        addr, length = struct.unpack("<QQ", data)
+        return BufferRef(addr, length)
+
+
+PACKED_SIZE = 16
+
+
+class BufferPool:
+    """Allocates shared buffers from a global-memory heap."""
+
+    def __init__(self, heap: SharedHeap) -> None:
+        self.heap = heap
+        self.live_buffers = 0
+        self.bytes_written = 0
+
+    def put(self, ctx: NodeContext, data: bytes) -> BufferRef:
+        """Write ``data`` into a fresh shared buffer and publish it."""
+        addr = self.heap.alloc(ctx, max(1, len(data)))
+        if data:
+            ctx.store(addr, data)
+            ctx.flush(addr, len(data))
+        self.live_buffers += 1
+        self.bytes_written += len(data)
+        return BufferRef(addr, len(data))
+
+    def get(self, ctx: NodeContext, ref: BufferRef) -> bytes:
+        """Read a published buffer in place (drops stale local lines)."""
+        if ref.length == 0:
+            return b""
+        ctx.invalidate(ref.addr, ref.length)
+        return ctx.load(ref.addr, ref.length)
+
+    def free(self, ctx: NodeContext, ref: BufferRef) -> None:
+        self.heap.free(ctx, ref.addr)
+        self.live_buffers -= 1

@@ -1,0 +1,193 @@
+"""Rack-wide scheduling over shared memory (Figure 3's control plane).
+
+The serverless case study assumes FlacOS provides rack-level
+scheduling.  This is it: per-node load counters in global memory
+(atomic, so placement decisions read fresh rack-wide load) and
+per-(submitter, executor) task rings, also in global memory — so a
+task queued to a node *survives that node's crash* and can be drained
+by whichever node takes over the queue.  Task bodies are node-local
+callables registered in a table; what crosses nodes is the task id and
+a payload descriptor.
+
+Placement policy: least-loaded live node, with a home-node affinity
+bonus (tasks prefer where their state lives — boxes, page-cache
+residency).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..flacdk.structures import SpscRing
+from ..rack.machine import NodeContext, RackMachine
+from .params import OsCosts
+
+_RING_SLOTS = 32
+_SLOT_BYTES = 24  # task id + payload length + inline payload offset
+
+
+class SchedulerError(Exception):
+    pass
+
+
+@dataclass
+class TaskRecord:
+    task_id: int
+    fn: Callable[[NodeContext, bytes], object]
+    payload: bytes
+    cost_ns: float
+    submitted_by: int
+    result: Optional[object] = None
+    done: bool = False
+    executed_on: Optional[int] = None
+
+
+class RackScheduler:
+    """Least-loaded placement with crash-survivable queues."""
+
+    def __init__(
+        self,
+        machine: RackMachine,
+        ctrl_base: int,
+        ring_alloc: Callable[[NodeContext, int], int],
+        costs: Optional[OsCosts] = None,
+    ) -> None:
+        self.machine = machine
+        self.costs = costs or OsCosts()
+        self.n_nodes = len(machine.nodes)
+        #: per-node load cells: ctrl_base + node*8
+        self.ctrl_base = ctrl_base
+        boot = machine.context(0)
+        for node in range(self.n_nodes):
+            boot.atomic_store(self._load_addr(node), 0)
+        #: rings[src][dst]: SPSC from submitter src to executor dst
+        self._rings: List[List[SpscRing]] = []
+        for src in range(self.n_nodes):
+            row = []
+            for dst in range(self.n_nodes):
+                addr = ring_alloc(boot, SpscRing.region_size(_RING_SLOTS, _SLOT_BYTES))
+                row.append(SpscRing(addr, _RING_SLOTS, _SLOT_BYTES).format(boot))
+            self._rings.append(row)
+        #: task table (node-local bodies; ids are rack-global)
+        self._tasks: Dict[int, TaskRecord] = {}
+        self._next_task = 1
+        #: dst -> node currently draining dst's queues (normally dst itself)
+        self._queue_owner: Dict[int, int] = {n: n for n in range(self.n_nodes)}
+
+    @staticmethod
+    def ctrl_size(n_nodes: int) -> int:
+        return 8 * n_nodes
+
+    # -- placement -----------------------------------------------------------------
+
+    def load_of(self, ctx: NodeContext, node: int) -> int:
+        return ctx.atomic_load(self._load_addr(node))
+
+    def pick_node(self, ctx: NodeContext, affinity: Optional[int] = None) -> int:
+        """Least-loaded live node; ties (and near-ties) favour affinity."""
+        ctx.advance(self.costs.schedule_ns)
+        loads = {
+            node: self.load_of(ctx, node)
+            for node, n in self.machine.nodes.items()
+            if n.alive
+        }
+        if not loads:
+            raise SchedulerError("no live nodes")
+        best = min(loads.values())
+        if affinity is not None and loads.get(affinity, best + 2) <= best + 1:
+            return affinity
+        return min(loads, key=lambda n: (loads[n], n))
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(
+        self,
+        ctx: NodeContext,
+        fn: Callable[[NodeContext, bytes], object],
+        payload: bytes = b"",
+        cost_ns: float = 100_000.0,
+        affinity: Optional[int] = None,
+    ) -> int:
+        """Queue a task on the least-loaded node; returns the task id."""
+        target = self.pick_node(ctx, affinity=affinity)
+        task_id = self._next_task
+        self._next_task += 1
+        self._tasks[task_id] = TaskRecord(
+            task_id, fn, payload, cost_ns, submitted_by=ctx.node_id
+        )
+        slot = struct.pack("<QQQ", task_id, len(payload), 0)
+        if not self._rings[ctx.node_id][target].try_push(ctx, slot):
+            raise SchedulerError(f"node {target}'s queue from {ctx.node_id} is full")
+        ctx.fetch_add(self._load_addr(target), 1)
+        return task_id
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run_pending(self, ctx: NodeContext, max_tasks: int = 64) -> int:
+        """Drain and execute tasks queued to the node ``ctx`` serves."""
+        executed = 0
+        for served_for in self._served_queues(ctx.node_id):
+            for src in range(self.n_nodes):
+                ring = self._rings[src][served_for]
+                while executed < max_tasks:
+                    raw = ring.try_pop(ctx)
+                    if raw is None:
+                        break
+                    task_id, _, _ = struct.unpack("<QQQ", raw)
+                    record = self._tasks.get(task_id)
+                    if record is None:
+                        raise SchedulerError(f"unknown task {task_id} in queue")
+                    ctx.advance(self.costs.context_switch_ns + record.cost_ns)
+                    record.result = record.fn(ctx, record.payload)
+                    record.done = True
+                    record.executed_on = ctx.node_id
+                    self._dec_load(ctx, served_for)
+                    executed += 1
+        return executed
+
+    def result_of(self, task_id: int) -> object:
+        record = self._tasks.get(task_id)
+        if record is None:
+            raise SchedulerError(f"no task {task_id}")
+        if not record.done:
+            raise SchedulerError(f"task {task_id} has not run")
+        return record.result
+
+    def is_done(self, task_id: int) -> bool:
+        record = self._tasks.get(task_id)
+        return bool(record and record.done)
+
+    # -- failover --------------------------------------------------------------------------
+
+    def adopt_queues(self, ctx: NodeContext, dead_node: int) -> None:
+        """Take over a crashed node's queues.
+
+        The rings live in global memory, so their contents outlive the
+        node; the adopter simply becomes their consumer.
+        """
+        if self.machine.nodes[dead_node].alive:
+            raise SchedulerError(f"node {dead_node} is alive; nothing to adopt")
+        self._queue_owner[dead_node] = ctx.node_id
+
+    def _served_queues(self, node_id: int) -> List[int]:
+        """The destination queues this node drains: its own plus any it
+        adopted from crashed nodes."""
+        return [dst for dst, owner in self._queue_owner.items() if owner == node_id]
+
+    # -- internals -----------------------------------------------------------------------------
+
+    def _load_addr(self, node: int) -> int:
+        if not 0 <= node < self.n_nodes:
+            raise SchedulerError(f"no node {node}")
+        return self.ctrl_base + node * 8
+
+    def _dec_load(self, ctx: NodeContext, node: int) -> None:
+        while True:
+            current = ctx.atomic_load(self._load_addr(node))
+            if current == 0:
+                return
+            swapped, _ = ctx.cas(self._load_addr(node), current, current - 1)
+            if swapped:
+                return

@@ -1,0 +1,48 @@
+"""FlacDK memory management (§3.2).
+
+Object-granularity allocation in shared memory, page-frame allocation,
+hotness-aware layout, handle-based relocation/tiering, and epoch-based
+reclamation integrated with checkpointing.
+"""
+
+from .frames import FrameAllocator, FrameAllocatorError, OutOfFramesError
+from .layout import (
+    HotColdPacker,
+    ObjectInfo,
+    PackingPlan,
+    Placement,
+    address_order_plan,
+    expected_lines_touched,
+)
+from .object_allocator import (
+    BadFreeError,
+    SharedHeap,
+    SharedHeapError,
+    SharedHeapExhausted,
+)
+from .reclaim import IDLE, UNPINNED, EpochReclaimer
+from .relocation import HandleError, HandleTable, MemoryTierer, RelocationStats, Relocator
+
+__all__ = [
+    "BadFreeError",
+    "EpochReclaimer",
+    "FrameAllocator",
+    "FrameAllocatorError",
+    "HandleError",
+    "HandleTable",
+    "HotColdPacker",
+    "IDLE",
+    "MemoryTierer",
+    "ObjectInfo",
+    "OutOfFramesError",
+    "PackingPlan",
+    "Placement",
+    "RelocationStats",
+    "Relocator",
+    "SharedHeap",
+    "SharedHeapError",
+    "SharedHeapExhausted",
+    "UNPINNED",
+    "address_order_plan",
+    "expected_lines_touched",
+]

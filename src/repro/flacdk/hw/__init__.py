@@ -1,0 +1,11 @@
+"""FlacDK level 1: hardware-specific operations on global memory (§3.2).
+
+Atomic instructions, memory barriers, cache flush/invalidate/write-back,
+and the publication idioms (``write_shared`` / ``read_shared``) every
+higher-level FlacDK protocol is composed from.
+"""
+
+from .cells import AtomicCell, FlagCell, SequenceCell
+from .ops import HwOps, causal_handoff
+
+__all__ = ["AtomicCell", "FlagCell", "HwOps", "SequenceCell", "causal_handoff"]

@@ -1,0 +1,83 @@
+"""Small shared-memory cell abstractions over the atomic instructions.
+
+These are the building blocks control planes are made of: a counter every
+node can bump, a flag used as a doorbell, a sequence/generation word.
+All of them live at a fixed rack address in global memory and are
+manipulated exclusively with cache-bypassing atomics, so they are the
+*only* coherent words in the system — exactly the hardware contract the
+paper assumes (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...rack.machine import NodeContext
+
+
+class AtomicCell:
+    """A single coherent integer word in shared memory."""
+
+    __slots__ = ("addr", "width")
+
+    def __init__(self, addr: int, width: int = 8) -> None:
+        if width not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported cell width {width}")
+        self.addr = addr
+        self.width = width
+
+    def load(self, ctx: NodeContext) -> int:
+        return ctx.atomic_load(self.addr, self.width)
+
+    def store(self, ctx: NodeContext, value: int) -> None:
+        ctx.atomic_store(self.addr, value, self.width)
+
+    def cas(self, ctx: NodeContext, expected: int, new: int) -> Tuple[bool, int]:
+        return ctx.cas(self.addr, expected, new, self.width)
+
+    def fetch_add(self, ctx: NodeContext, delta: int = 1) -> int:
+        return ctx.fetch_add(self.addr, delta, self.width)
+
+    def swap(self, ctx: NodeContext, new: int) -> int:
+        return ctx.swap(self.addr, new, self.width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCell({self.addr:#x}, w={self.width})"
+
+
+class SequenceCell(AtomicCell):
+    """A monotonically increasing generation counter.
+
+    Used for TLB shootdown generations, registry epochs, and commit
+    sequence numbers.  ``bump`` returns the *new* value.
+    """
+
+    def bump(self, ctx: NodeContext) -> int:
+        return self.fetch_add(ctx, 1) + 1
+
+    def wait_at_least(self, ctx: NodeContext, target: int, max_polls: int = 1_000_000) -> int:
+        """Poll until the sequence reaches ``target``.
+
+        In the simulator, progress only happens when other node contexts
+        are driven; this raises if the target is unreachable rather than
+        spinning forever.
+        """
+        for _ in range(max_polls):
+            value = self.load(ctx)
+            if value >= target:
+                return value
+        raise TimeoutError(f"sequence at {self.addr:#x} never reached {target}")
+
+
+class FlagCell(AtomicCell):
+    """A doorbell: 0 = clear, nonzero = rung (value often carries a tag)."""
+
+    def ring(self, ctx: NodeContext, tag: int = 1) -> None:
+        self.store(ctx, tag)
+
+    def is_rung(self, ctx: NodeContext) -> bool:
+        return self.load(ctx) != 0
+
+    def take(self, ctx: NodeContext) -> int:
+        """Atomically read-and-clear; returns the tag (0 if not rung)."""
+        return self.swap(ctx, 0)

@@ -1,0 +1,120 @@
+"""FlacDK level-1 library: hardware operations on rack memory (§3.2).
+
+:class:`HwOps` wraps a :class:`~repro.rack.machine.NodeContext` with the
+typed accessors and the two publication idioms every FlacDK protocol is
+built from:
+
+* ``write_shared`` — cached store then ``flush`` (make my write visible);
+* ``read_shared`` — ``invalidate`` then cached load (drop my stale copy).
+
+Control words that multiple nodes race on (flags, counters, pointers) use
+the atomic accessors, which bypass caches entirely — the libfam-atomic
+model the paper cites.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ...rack.machine import NodeContext
+
+
+class HwOps:
+    """Typed, idiomatic access to rack memory from one node."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+
+    @property
+    def node_id(self) -> int:
+        return self.ctx.node_id
+
+    def now(self) -> float:
+        return self.ctx.now()
+
+    def advance(self, ns: float) -> float:
+        return self.ctx.advance(ns)
+
+    # -- plain (cached, incoherent) accessors ----------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return self.ctx.load(addr, size)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self.ctx.store(addr, data)
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.ctx.load(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.ctx.store(addr, struct.pack("<Q", value & (2**64 - 1)))
+
+    def read_u32(self, addr: int) -> int:
+        return struct.unpack("<I", self.ctx.load(addr, 4))[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.ctx.store(addr, struct.pack("<I", value & (2**32 - 1)))
+
+    # -- publication idioms -------------------------------------------------------
+
+    def write_shared(self, addr: int, data: bytes) -> None:
+        """Store then flush: after this, other nodes *can* see the data
+        (they still must drop their own stale copies)."""
+        self.ctx.store(addr, data)
+        self.ctx.flush(addr, len(data))
+
+    def read_shared(self, addr: int, size: int) -> bytes:
+        """Invalidate then load: always observes the current backing bytes."""
+        self.ctx.invalidate(addr, size)
+        return self.ctx.load(addr, size)
+
+    def read_shared_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.read_shared(addr, 8))[0]
+
+    def write_shared_u64(self, addr: int, value: int) -> None:
+        self.write_shared(addr, struct.pack("<Q", value & (2**64 - 1)))
+
+    # -- cache maintenance ----------------------------------------------------------
+
+    def flush(self, addr: int, size: int) -> int:
+        return self.ctx.flush(addr, size)
+
+    def invalidate(self, addr: int, size: int) -> int:
+        return self.ctx.invalidate(addr, size)
+
+    def flush_invalidate(self, addr: int, size: int) -> Tuple[int, int]:
+        return self.ctx.flush_invalidate(addr, size)
+
+    def fence(self) -> None:
+        self.ctx.fence()
+
+    # -- atomics (cache-bypassing, rack-coherent) --------------------------------------
+
+    def atomic_load(self, addr: int, width: int = 8) -> int:
+        return self.ctx.atomic_load(addr, width)
+
+    def atomic_store(self, addr: int, value: int, width: int = 8) -> None:
+        self.ctx.atomic_store(addr, value, width)
+
+    def cas(self, addr: int, expected: int, new: int, width: int = 8) -> Tuple[bool, int]:
+        return self.ctx.cas(addr, expected, new, width)
+
+    def fetch_add(self, addr: int, delta: int, width: int = 8) -> int:
+        return self.ctx.fetch_add(addr, delta, width)
+
+    def swap(self, addr: int, new: int, width: int = 8) -> int:
+        return self.ctx.swap(addr, new, width)
+
+
+def causal_handoff(producer: NodeContext, consumer: NodeContext) -> None:
+    """Order the consumer's clock after the producer's.
+
+    The simulator has no global clock; when one node observes data
+    another node published (flag seen, message consumed), the protocol
+    calls this at the observation point so simulated causality holds:
+    the observation cannot complete before the publication happened.
+    """
+    consumer.node.clock.sync_to(producer.now())

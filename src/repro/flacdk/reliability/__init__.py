@@ -1,0 +1,28 @@
+"""FlacDK reliability mechanisms (§3.2).
+
+The full fault-handling pipeline: monitoring, failure prediction, fault
+detection (integrity + liveness), checkpointing integrated with epoch
+reclamation, and recovery by checkpoint restore + op-log replay.
+"""
+
+from .checkpoint import Checkpoint, CheckpointManager, CheckpointStore
+from .detection import ChecksumDetector, CorruptionReport, HeartbeatDetector
+from .monitor import HealthMonitor, HealthSummary
+from .prediction import FailurePredictor, PageRisk
+from .recovery import LogReplayRecovery, RecoveryCoordinator, RecoveryReport
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "CheckpointStore",
+    "ChecksumDetector",
+    "CorruptionReport",
+    "FailurePredictor",
+    "HealthMonitor",
+    "HealthSummary",
+    "HeartbeatDetector",
+    "LogReplayRecovery",
+    "PageRisk",
+    "RecoveryCoordinator",
+    "RecoveryReport",
+]

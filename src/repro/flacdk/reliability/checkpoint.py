@@ -1,0 +1,128 @@
+"""Checkpointing of shared-memory state (§3.2).
+
+Checkpoints snapshot registered regions of rack memory into a store.
+Two integrations with synchronisation keep the cost down, as the paper
+prescribes:
+
+* region checkpoints **pin an epoch** in the reclaimer, so multi-version
+  objects referenced by the snapshot cannot be freed mid-checkpoint;
+* log-backed state is checkpointed *by watermark* — the snapshot is just
+  (state bytes, log index), and recovery replays the log suffix (see
+  :mod:`.recovery`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...rack.machine import NodeContext
+from ..alloc.reclaim import EpochReclaimer
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One consistent snapshot of a set of regions."""
+
+    checkpoint_id: int
+    taken_at_ns: float
+    epoch: Optional[int]
+    #: region base -> captured bytes
+    regions: Dict[int, bytes]
+    #: optional log watermark for replay-based recovery
+    log_watermark: Optional[int] = None
+
+    def crc(self) -> int:
+        total = 0
+        for base in sorted(self.regions):
+            total = zlib.crc32(self.regions[base], total)
+        return total
+
+
+class CheckpointStore:
+    """Holds checkpoints with a bounded history per subject."""
+
+    def __init__(self, keep: int = 4) -> None:
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.keep = keep
+        self._by_subject: Dict[str, List[Checkpoint]] = {}
+
+    def put(self, subject: str, checkpoint: Checkpoint) -> None:
+        history = self._by_subject.setdefault(subject, [])
+        history.append(checkpoint)
+        del history[: -self.keep]
+
+    def latest(self, subject: str) -> Optional[Checkpoint]:
+        history = self._by_subject.get(subject)
+        return history[-1] if history else None
+
+    def history(self, subject: str) -> List[Checkpoint]:
+        return list(self._by_subject.get(subject, []))
+
+
+@dataclass
+class CheckpointManager:
+    """Takes and restores region checkpoints.
+
+    ``reclaimer`` is optional; when present every checkpoint pins the
+    current epoch for its duration so concurrent retirements cannot free
+    versions the snapshot walks.
+    """
+
+    store: CheckpointStore
+    reclaimer: Optional[EpochReclaimer] = None
+    #: fixed software cost charged per checkpoint, on top of memory reads
+    overhead_ns: float = 2000.0
+    _next_id: int = 1
+    _registered: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def register(self, subject: str, base: int, size: int) -> None:
+        """Add a region to a subject's checkpoint set."""
+        self._registered.setdefault(subject, []).append((base, size))
+
+    def regions_of(self, subject: str) -> List[Tuple[int, int]]:
+        return list(self._registered.get(subject, []))
+
+    def take(
+        self, ctx: NodeContext, subject: str, log_watermark: Optional[int] = None
+    ) -> Checkpoint:
+        """Capture all of ``subject``'s registered regions."""
+        regions = self._registered.get(subject)
+        if not regions:
+            raise KeyError(f"no regions registered for subject {subject!r}")
+        pin_slot = None
+        epoch = None
+        if self.reclaimer is not None:
+            epoch = self.reclaimer.current_epoch(ctx)
+            pin_slot = self.reclaimer.pin(ctx, epoch)
+        try:
+            ctx.advance(self.overhead_ns)
+            captured = {
+                base: ctx.load(base, size, bypass_cache=True) for base, size in regions
+            }
+        finally:
+            if pin_slot is not None:
+                self.reclaimer.unpin(ctx, pin_slot)
+        checkpoint = Checkpoint(
+            checkpoint_id=self._next_id,
+            taken_at_ns=ctx.now(),
+            epoch=epoch,
+            regions=captured,
+            log_watermark=log_watermark,
+        )
+        self._next_id += 1
+        self.store.put(subject, checkpoint)
+        return checkpoint
+
+    def restore(self, ctx: NodeContext, subject: str, checkpoint: Optional[Checkpoint] = None) -> Checkpoint:
+        """Write a checkpoint's bytes back into rack memory."""
+        checkpoint = checkpoint or self.store.latest(subject)
+        if checkpoint is None:
+            raise KeyError(f"no checkpoint stored for subject {subject!r}")
+        ctx.advance(self.overhead_ns)
+        for base, data in checkpoint.regions.items():
+            ctx.store(base, data, bypass_cache=True)
+            ctx.invalidate(base, len(data))  # drop stale cached lines
+        return checkpoint

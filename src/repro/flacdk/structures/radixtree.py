@@ -1,0 +1,204 @@
+"""Shared radix tree over global memory (§3.2).
+
+The index structure behind the shared page table (§3.3) and the shared
+page cache (§3.4): a fixed-depth radix over 64-bit keys whose interior
+nodes are arrays of atomic cells allocated from a shared heap.  All slot
+words are read/written with cache-bypassing atomics, so lookups are
+always coherent (and pay global-memory latency — which is why FlacOS
+puts a per-node TLB in front of the page-table instance).
+
+Values are arbitrary nonzero u64s; 0 means "absent".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ...rack.machine import NodeContext
+from ..alloc.object_allocator import SharedHeap
+
+
+class RadixError(Exception):
+    pass
+
+
+class SharedRadixTree:
+    """Fixed-shape radix tree: ``levels`` levels of ``2**fanout_bits`` slots."""
+
+    def __init__(
+        self,
+        root_ptr_addr: int,
+        heap: SharedHeap,
+        key_bits: int = 48,
+        fanout_bits: int = 8,
+    ) -> None:
+        if key_bits % fanout_bits:
+            raise ValueError("key_bits must be a multiple of fanout_bits")
+        self.root_ptr_addr = root_ptr_addr
+        self.heap = heap
+        self.key_bits = key_bits
+        self.fanout_bits = fanout_bits
+        self.levels = key_bits // fanout_bits
+        self.fanout = 1 << fanout_bits
+        self.node_bytes = self.fanout * 8
+
+    def format(self, ctx: NodeContext) -> "SharedRadixTree":
+        ctx.atomic_store(self.root_ptr_addr, 0)
+        return self
+
+    # -- operations ---------------------------------------------------------------
+
+    def insert(self, ctx: NodeContext, key: int, value: int) -> None:
+        """Map ``key`` to nonzero ``value`` (overwrites an existing mapping)."""
+        if value == 0:
+            raise RadixError("value 0 is reserved for 'absent'")
+        self._check_key(key)
+        slot_addr = self._descend(ctx, key, create=True)
+        ctx.atomic_store(slot_addr, value)
+
+    def insert_if_absent(self, ctx: NodeContext, key: int, value: int) -> int:
+        """CAS-insert; returns the winning value (ours or the racer's)."""
+        if value == 0:
+            raise RadixError("value 0 is reserved for 'absent'")
+        self._check_key(key)
+        slot_addr = self._descend(ctx, key, create=True)
+        swapped, current = ctx.cas(slot_addr, 0, value)
+        return value if swapped else current
+
+    def lookup(self, ctx: NodeContext, key: int) -> Optional[int]:
+        self._check_key(key)
+        slot_addr = self._descend(ctx, key, create=False)
+        if slot_addr is None:
+            return None
+        value = ctx.atomic_load(slot_addr)
+        return value or None
+
+    def remove(self, ctx: NodeContext, key: int) -> Optional[int]:
+        """Unmap ``key``; returns the removed value (leaves interior nodes)."""
+        self._check_key(key)
+        slot_addr = self._descend(ctx, key, create=False)
+        if slot_addr is None:
+            return None
+        old = ctx.swap(slot_addr, 0)
+        return old or None
+
+    def update(self, ctx: NodeContext, key: int, expected: int, new: int) -> bool:
+        """CAS an existing mapping from ``expected`` to ``new``."""
+        if new == 0:
+            raise RadixError("use remove() to unmap")
+        self._check_key(key)
+        slot_addr = self._descend(ctx, key, create=False)
+        if slot_addr is None:
+            return False
+        swapped, _ = ctx.cas(slot_addr, expected, new)
+        return swapped
+
+    def lookup_range(self, ctx: NodeContext, start_key: int, count: int) -> List[Optional[int]]:
+        """Gang lookup: values for ``count`` consecutive keys.
+
+        Descends once per *leaf node* instead of once per key — for
+        sequential scans (page-cache reads of a file run) this cuts the
+        per-key cost from a full tree walk to one atomic slot load.
+        """
+        self._check_key(start_key)
+        if count < 1:
+            return []
+        if start_key + count - 1 >> self.key_bits:
+            raise RadixError("range extends past the key space")
+        out: List[Optional[int]] = []
+        key = start_key
+        remaining = count
+        while remaining > 0:
+            slot_addr = self._descend(ctx, key, create=False)
+            slot_index = key & (self.fanout - 1)
+            in_leaf = min(remaining, self.fanout - slot_index)
+            if slot_addr is None:
+                out.extend([None] * in_leaf)
+            else:
+                for i in range(in_leaf):
+                    value = ctx.atomic_load(slot_addr + i * 8)
+                    out.append(value or None)
+            key += in_leaf
+            remaining -= in_leaf
+        return out
+
+    def slot_range(
+        self, ctx: NodeContext, start_key: int, count: int, create: bool = False
+    ) -> List[Optional[int]]:
+        """Leaf-slot *addresses* for ``count`` consecutive keys.
+
+        The write-side companion of :meth:`lookup_range`: one descend per
+        leaf node, so bulk inserts (page-cache population of a file run)
+        pay the interior-node walk once per 2**fanout_bits keys.  With
+        ``create`` false, keys under missing interior nodes yield None.
+        """
+        self._check_key(start_key)
+        if count < 1:
+            return []
+        if start_key + count - 1 >> self.key_bits:
+            raise RadixError("range extends past the key space")
+        out: List[Optional[int]] = []
+        key = start_key
+        remaining = count
+        while remaining > 0:
+            slot_addr = self._descend(ctx, key, create=create)
+            slot_index = key & (self.fanout - 1)
+            in_leaf = min(remaining, self.fanout - slot_index)
+            if slot_addr is None:
+                out.extend([None] * in_leaf)
+            else:
+                out.extend(slot_addr + i * 8 for i in range(in_leaf))
+            key += in_leaf
+            remaining -= in_leaf
+        return out
+
+    def items(self, ctx: NodeContext) -> Iterator[Tuple[int, int]]:
+        """All (key, value) pairs — full scan, diagnostics only."""
+        root = ctx.atomic_load(self.root_ptr_addr)
+        if root:
+            yield from self._walk(ctx, root, level=0, prefix=0)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _walk(self, ctx: NodeContext, node: int, level: int, prefix: int) -> Iterator[Tuple[int, int]]:
+        for slot in range(self.fanout):
+            value = ctx.atomic_load(node + slot * 8)
+            if value == 0:
+                continue
+            key_part = (prefix << self.fanout_bits) | slot
+            if level == self.levels - 1:
+                yield key_part, value
+            else:
+                yield from self._walk(ctx, value, level + 1, key_part)
+
+    def _descend(self, ctx: NodeContext, key: int, create: bool) -> Optional[int]:
+        """Walk to the leaf slot for ``key``; returns its address."""
+        node = ctx.atomic_load(self.root_ptr_addr)
+        if node == 0:
+            if not create:
+                return None
+            node = self._install_node(ctx, self.root_ptr_addr)
+        for level in range(self.levels - 1):
+            shift = (self.levels - 1 - level) * self.fanout_bits
+            slot_addr = node + ((key >> shift) & (self.fanout - 1)) * 8
+            child = ctx.atomic_load(slot_addr)
+            if child == 0:
+                if not create:
+                    return None
+                child = self._install_node(ctx, slot_addr)
+            node = child
+        return node + (key & (self.fanout - 1)) * 8
+
+    def _install_node(self, ctx: NodeContext, parent_slot: int) -> int:
+        """Allocate a zeroed interior node and CAS it into the parent."""
+        fresh = self.heap.alloc(ctx, self.node_bytes)
+        ctx.store(fresh, bytes(self.node_bytes), bypass_cache=True)
+        swapped, winner = ctx.cas(parent_slot, 0, fresh)
+        if swapped:
+            return fresh
+        self.heap.free(ctx, fresh)  # another node raced us; use theirs
+        return winner
+
+    def _check_key(self, key: int) -> None:
+        if key < 0 or key >> self.key_bits:
+            raise RadixError(f"key {key:#x} outside {self.key_bits}-bit space")

@@ -1,0 +1,44 @@
+"""Serialization cost accounting — the tax shared memory never pays.
+
+Network transports move *bytes*, so structured data must be flattened
+on one side and rebuilt on the other; FlacOS services pass references
+into shared memory instead.  This module makes the tax measurable: the
+benchmarks wrap baseline payloads in ``dumps``/``loads`` and the per-byte
+cost shows up on the simulated clocks.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..rack.machine import NodeContext
+from .params import SerializationCosts
+
+
+@dataclass
+class SerializerStats:
+    serialized: int = 0
+    deserialized: int = 0
+    bytes_produced: int = 0
+
+
+class Serializer:
+    """Pickle-backed serializer that charges simulated time."""
+
+    def __init__(self, costs: Optional[SerializationCosts] = None) -> None:
+        self.costs = costs or SerializationCosts()
+        self.stats = SerializerStats()
+
+    def dumps(self, ctx: NodeContext, obj: Any) -> bytes:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        ctx.advance(self.costs.fixed_ns + len(data) * self.costs.per_byte_ns)
+        self.stats.serialized += 1
+        self.stats.bytes_produced += len(data)
+        return data
+
+    def loads(self, ctx: NodeContext, data: bytes) -> Any:
+        ctx.advance(self.costs.fixed_ns + len(data) * self.costs.per_byte_ns)
+        self.stats.deserialized += 1
+        return pickle.loads(data)

@@ -1,0 +1,60 @@
+"""Simulated rack-scale hardware substrate.
+
+The paper's testbed (Kunpeng 920 nodes joined by HCCS memory interconnect)
+is reproduced here as a discrete cost model over real shared bytes:
+
+* :class:`RackMachine` — the facade: nodes, global memory, fabric, faults.
+* :class:`NodeContext` — machine operations bound to one node.
+* Per-node write-back caches with **no** hardware coherence.
+* A seeded :class:`FaultInjector` for correctable/uncorrectable memory
+  errors, link failures, and node crashes.
+
+See ``DESIGN.md`` §2 for the substitution rationale.
+"""
+
+from .cache import CacheStats, NodeCache
+from .clock import SimClock, rendezvous
+from .faults import FaultEvent, FaultInjector, FaultKind, FaultLog
+from .interconnect import Interconnect, InterconnectError, PathCost
+from .machine import NodeContext, RackMachine
+from .memory import (
+    AddressMap,
+    MemoryKind,
+    OutOfRangeError,
+    PhysicalMemory,
+    ProtectionError,
+    Region,
+    UncorrectableMemoryError,
+)
+from .node import Node, NodeCrashedError
+from .params import GLOBAL_BASE, LOCAL_STRIDE, FaultModel, LatencyModel, RackConfig
+
+__all__ = [
+    "AddressMap",
+    "CacheStats",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultModel",
+    "GLOBAL_BASE",
+    "Interconnect",
+    "InterconnectError",
+    "LatencyModel",
+    "LOCAL_STRIDE",
+    "MemoryKind",
+    "Node",
+    "NodeCache",
+    "NodeContext",
+    "NodeCrashedError",
+    "OutOfRangeError",
+    "PathCost",
+    "PhysicalMemory",
+    "ProtectionError",
+    "RackConfig",
+    "RackMachine",
+    "Region",
+    "SimClock",
+    "UncorrectableMemoryError",
+    "rendezvous",
+]

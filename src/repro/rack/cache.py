@@ -1,0 +1,216 @@
+"""Per-node private caches with **no** hardware coherence.
+
+This is the heart of the substrate's fidelity to the paper: a store by
+node A lands in A's cache and does not reach backing memory until A
+flushes the line; a load by node B returns whatever B's cache holds, even
+if that is stale, until B invalidates.  All FlacDK synchronisation
+protocols are therefore forced to issue explicit cache maintenance — and
+the test suite observes real staleness when they do not.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for benchmarks and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Line:
+    data: bytearray
+    dirty: bool = False
+
+
+class NodeCache:
+    """A write-back, write-allocate cache with LRU replacement.
+
+    ``read_backing`` / ``write_backing`` are callbacks into the machine so
+    the cache itself stays ignorant of the address map; they take rack
+    physical addresses aligned to the line size.
+    """
+
+    def __init__(
+        self,
+        capacity_lines: int,
+        line_size: int,
+        read_backing: Callable[[int, int], bytes],
+        write_backing: Callable[[int, bytes], None],
+    ) -> None:
+        if capacity_lines <= 0:
+            raise ValueError("cache needs at least one line")
+        if line_size & (line_size - 1):
+            raise ValueError("line size must be a power of two")
+        self.capacity_lines = capacity_lines
+        self.line_size = line_size
+        self._read_backing = read_backing
+        self._write_backing = write_backing
+        self._lines: "OrderedDict[int, _Line]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- address helpers ---------------------------------------------------
+
+    def line_base(self, addr: int) -> int:
+        return addr & ~(self.line_size - 1)
+
+    def lines_spanning(self, addr: int, size: int) -> Iterator[int]:
+        """Yield the base address of every line touched by [addr, addr+size)."""
+        if size <= 0:
+            return
+        base = self.line_base(addr)
+        end = addr + size
+        while base < end:
+            yield base
+            base += self.line_size
+
+    # -- core operations ---------------------------------------------------
+
+    def load(self, addr: int, size: int) -> Tuple[bytes, int, int]:
+        """Read through the cache.  Returns ``(data, hits, misses)``."""
+        out = bytearray()
+        hits = misses = 0
+        for base in self.lines_spanning(addr, size):
+            line, was_hit = self._get_line(base, fill_on_miss=True)
+            if was_hit:
+                hits += 1
+            else:
+                misses += 1
+            lo = max(addr, base) - base
+            hi = min(addr + size, base + self.line_size) - base
+            out += line.data[lo:hi]
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return bytes(out), hits, misses
+
+    def store(self, addr: int, data: bytes) -> Tuple[int, int, int]:
+        """Write into the cache (write-allocate).
+
+        Returns ``(hits, misses, allocs)``: *misses* fetched the line from
+        backing memory (partial-line write to a non-resident line);
+        *allocs* installed a full line without fetching — the common case
+        for bulk writes, and the reason streaming writes to global memory
+        are not charged a read round trip.
+        """
+        hits = misses = allocs = 0
+        pos = 0
+        size = len(data)
+        for base in self.lines_spanning(addr, size):
+            lo = max(addr, base) - base
+            hi = min(addr + size, base + self.line_size) - base
+            full_line = lo == 0 and hi == self.line_size
+            if full_line and base not in self._lines:
+                self._insert(base, _Line(bytearray(self.line_size), dirty=True))
+                line = self._lines[base]
+                allocs += 1
+            else:
+                line, was_hit = self._get_line(base, fill_on_miss=True)
+                if was_hit:
+                    hits += 1
+                else:
+                    misses += 1
+            line.data[lo:hi] = data[pos : pos + (hi - lo)]
+            line.dirty = True
+            pos += hi - lo
+        self.stats.hits += hits + allocs
+        self.stats.misses += misses
+        return hits, misses, allocs
+
+    def flush(self, addr: int, size: int) -> int:
+        """Write back dirty lines in range, keeping them valid and clean.
+
+        Returns the number of lines written back.  Models ``dc cvac``.
+        """
+        written = 0
+        for base in self.lines_spanning(addr, size):
+            line = self._lines.get(base)
+            if line is not None and line.dirty:
+                self._write_backing(base, bytes(line.data))
+                line.dirty = False
+                written += 1
+        self.stats.writebacks += written
+        return written
+
+    def invalidate(self, addr: int, size: int) -> int:
+        """Drop lines in range *without* writing them back (``dc ivac``).
+
+        Dirty data in the range is lost — exactly like the hardware
+        instruction.  Protocols that must not lose writes use
+        :meth:`flush_invalidate`.
+        """
+        dropped = 0
+        for base in self.lines_spanning(addr, size):
+            if self._lines.pop(base, None) is not None:
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def flush_invalidate(self, addr: int, size: int) -> Tuple[int, int]:
+        """Write back then drop (``dc civac``).  Returns ``(written, dropped)``."""
+        written = self.flush(addr, size)
+        dropped = self.invalidate(addr, size)
+        return written, dropped
+
+    def flush_all(self) -> int:
+        """Write back every dirty line (context switch / checkpoint path)."""
+        written = 0
+        for base, line in self._lines.items():
+            if line.dirty:
+                self._write_backing(base, bytes(line.data))
+                line.dirty = False
+                written += 1
+        self.stats.writebacks += written
+        return written
+
+    def invalidate_all(self) -> int:
+        dropped = len(self._lines)
+        self._lines.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    # -- introspection (tests) ----------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        return self.line_base(addr) in self._lines
+
+    def is_dirty(self, addr: int) -> bool:
+        line = self._lines.get(self.line_base(addr))
+        return bool(line and line.dirty)
+
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    # -- internals -----------------------------------------------------------
+
+    def _get_line(self, base: int, fill_on_miss: bool) -> Tuple[_Line, bool]:
+        line = self._lines.get(base)
+        if line is not None:
+            self._lines.move_to_end(base)
+            return line, True
+        data = bytearray(self._read_backing(base, self.line_size))
+        line = _Line(data)
+        self._insert(base, line)
+        return line, False
+
+    def _insert(self, base: int, line: _Line) -> None:
+        while len(self._lines) >= self.capacity_lines:
+            victim_base, victim = self._lines.popitem(last=False)
+            if victim.dirty:
+                self._write_backing(victim_base, bytes(victim.data))
+                self.stats.writebacks += 1
+            self.stats.evictions += 1
+        self._lines[base] = line
+        self._lines.move_to_end(base)

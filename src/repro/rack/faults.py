@@ -1,0 +1,170 @@
+"""Deterministic fault injection for the rack substrate.
+
+§2.2 of the paper: global memory fails more often (smaller transistors,
+manufacturing defects) and every interconnect hop and switch widens the
+fault surface.  The injector reproduces that taxonomy:
+
+* **Correctable errors (CE)** — ECC fixed the bit; data is fine but the
+  event is visible to the health monitor (failure-prediction input).
+* **Uncorrectable errors (UE)** — the accessed bytes are poisoned; the
+  consumer sees :class:`~repro.rack.memory.UncorrectableMemoryError`.
+* **Link failures** — a fabric link goes down; paths lengthen or sever.
+* **Node crashes** — a node dies with whatever was in its cache lost.
+
+Everything is driven by a seeded RNG so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional
+
+from .memory import PhysicalMemory, Region
+from .params import FaultModel
+
+
+class FaultKind(Enum):
+    CORRECTABLE = "ce"
+    UNCORRECTABLE = "ue"
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    NODE_CRASH = "node_crash"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the rack's fault log."""
+
+    kind: FaultKind
+    time_ns: float
+    #: Physical address for memory faults, ``None`` otherwise.
+    addr: Optional[int] = None
+    #: Node observing or suffering the fault.
+    node_id: Optional[int] = None
+    detail: str = ""
+
+
+class FaultLog:
+    """Append-only record of injected faults; the health monitor reads it."""
+
+    def __init__(self) -> None:
+        self._events: List[FaultEvent] = []
+        self._listeners: List[Callable[[FaultEvent], None]] = []
+
+    def record(self, event: FaultEvent) -> None:
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Callable[[FaultEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def events(self, kind: Optional[FaultKind] = None, since_ns: float = 0.0) -> List[FaultEvent]:
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind) and e.time_ns >= since_ns
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class FaultInjector:
+    """Applies the :class:`FaultModel` on every memory access.
+
+    The machine calls :meth:`on_access` for each backing-device touch; the
+    injector rolls the dice, mutates the device in place for CEs/UEs, and
+    records the event.  Explicit injection methods exist for targeted
+    failure tests.
+    """
+
+    def __init__(self, model: FaultModel, seed: int = 0) -> None:
+        self.model = model
+        self.rng = random.Random(seed)
+        self.log = FaultLog()
+        self.enabled = True
+
+    def _rates(self, region: Region, path_cost: int) -> tuple:
+        if region.is_global:
+            ce, ue = self.model.global_ce_rate, self.model.global_ue_rate
+        else:
+            ce, ue = self.model.local_ce_rate, self.model.local_ue_rate
+        if path_cost > 0:
+            scale = self.model.per_hop_multiplier**path_cost
+            ce *= scale
+            ue *= scale
+        return ce, ue
+
+    def on_access(
+        self, region: Region, offset: int, size: int, node_id: int, now_ns: float, path_cost: int = 0
+    ) -> None:
+        """Possibly inject a fault into the accessed range."""
+        if not self.enabled or size <= 0:
+            return
+        ce_rate, ue_rate = self._rates(region, path_cost)
+        if ue_rate > 0 and self.rng.random() < ue_rate:
+            victim = offset + self.rng.randrange(size)
+            self.inject_ue(region.device, victim, node_id=node_id, now_ns=now_ns, rack_addr=region.base + victim)
+        elif ce_rate > 0 and self.rng.random() < ce_rate:
+            victim = offset + self.rng.randrange(size)
+            self.log.record(
+                FaultEvent(
+                    kind=FaultKind.CORRECTABLE,
+                    time_ns=now_ns,
+                    addr=region.base + victim,
+                    node_id=node_id,
+                    detail="ecc corrected",
+                )
+            )
+
+    # -- explicit injection (targeted tests & benchmarks) ---------------------
+
+    def inject_ce(self, rack_addr: int, node_id: int = -1, now_ns: float = 0.0) -> None:
+        self.log.record(
+            FaultEvent(FaultKind.CORRECTABLE, time_ns=now_ns, addr=rack_addr, node_id=node_id)
+        )
+
+    def inject_ue(
+        self,
+        device: PhysicalMemory,
+        offset: int,
+        *,
+        node_id: int = -1,
+        now_ns: float = 0.0,
+        rack_addr: Optional[int] = None,
+        size: int = 1,
+    ) -> None:
+        """Poison ``size`` bytes of ``device`` starting at ``offset``."""
+        if self.rng.random() < self.model.line_corruption_ratio:
+            size = max(size, 64)
+            offset &= ~63
+            offset = min(offset, device.size - size)
+        device.poison(offset, size)
+        self.log.record(
+            FaultEvent(
+                kind=FaultKind.UNCORRECTABLE,
+                time_ns=now_ns,
+                addr=rack_addr if rack_addr is not None else offset,
+                node_id=node_id,
+                detail=f"poisoned {size}B",
+            )
+        )
+
+    def inject_bitflip(self, device: PhysicalMemory, offset: int, bit: int = 0) -> None:
+        """Silent single-bit corruption (no ECC event — SDC scenario)."""
+        device.flip_bit(offset, bit)
+
+    def record_link_change(self, u: str, v: str, up: bool, now_ns: float = 0.0) -> None:
+        self.log.record(
+            FaultEvent(
+                kind=FaultKind.LINK_UP if up else FaultKind.LINK_DOWN,
+                time_ns=now_ns,
+                detail=f"{u}<->{v}",
+            )
+        )
+
+    def record_node_crash(self, node_id: int, now_ns: float = 0.0) -> None:
+        self.log.record(FaultEvent(FaultKind.NODE_CRASH, time_ns=now_ns, node_id=node_id))

@@ -1,0 +1,127 @@
+"""Memory-interconnect fabric model (CXL / HCCS style).
+
+The fabric is a graph of node ports, switches, and the global-memory
+device.  The only thing the machine needs from it is the *path cost* from
+a node to global memory — how many hops and switches the access traverses
+— plus link health, so that a downed link degrades or severs a node's
+access.  Paths are recomputed lazily when topology changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import networkx as nx
+
+
+class InterconnectError(Exception):
+    """No usable path between a node and global memory."""
+
+
+#: Vertex naming convention in the fabric graph.
+def node_vertex(node_id: int) -> str:
+    return f"node:{node_id}"
+
+
+def switch_vertex(switch_id: int) -> str:
+    return f"switch:{switch_id}"
+
+
+GMEM_VERTEX = "gmem"
+
+
+@dataclass(frozen=True)
+class PathCost:
+    """Hops and switches between a node and global memory."""
+
+    hops: int
+    switches: int
+
+
+class Interconnect:
+    """A fabric graph with per-link health and cached path costs."""
+
+    def __init__(self, graph: Optional[nx.Graph] = None) -> None:
+        self.graph = graph if graph is not None else nx.Graph()
+        self._path_cache: Dict[str, PathCost] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node_port(self, node_id: int) -> None:
+        self.graph.add_node(node_vertex(node_id), kind="node")
+
+    def add_switch(self, switch_id: int) -> None:
+        self.graph.add_node(switch_vertex(switch_id), kind="switch")
+
+    def add_gmem(self) -> None:
+        self.graph.add_node(GMEM_VERTEX, kind="gmem")
+
+    def link(self, u: str, v: str) -> None:
+        self.graph.add_edge(u, v, up=True)
+        self._path_cache.clear()
+
+    # -- health ---------------------------------------------------------------
+
+    def set_link_state(self, u: str, v: str, up: bool) -> None:
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"no link {u} <-> {v}")
+        self.graph.edges[u, v]["up"] = up
+        self._path_cache.clear()
+
+    def link_is_up(self, u: str, v: str) -> bool:
+        return bool(self.graph.edges[u, v].get("up", True))
+
+    def _live_subgraph(self) -> nx.Graph:
+        live = nx.Graph()
+        live.add_nodes_from(self.graph.nodes(data=True))
+        for u, v, attrs in self.graph.edges(data=True):
+            if attrs.get("up", True):
+                live.add_edge(u, v)
+        return live
+
+    # -- queries ---------------------------------------------------------------
+
+    def path_to_gmem(self, node_id: int) -> PathCost:
+        """Hops/switches from ``node_id`` to global memory over live links."""
+        src = node_vertex(node_id)
+        cached = self._path_cache.get(src)
+        if cached is not None:
+            return cached
+        live = self._live_subgraph()
+        if src not in live or GMEM_VERTEX not in live:
+            raise InterconnectError(f"{src} or gmem not in fabric")
+        try:
+            path = nx.shortest_path(live, src, GMEM_VERTEX)
+        except nx.NetworkXNoPath as exc:
+            raise InterconnectError(f"node {node_id} cannot reach global memory") from exc
+        hops = len(path) - 1
+        switches = sum(1 for v in path if self.graph.nodes[v].get("kind") == "switch")
+        cost = PathCost(hops=hops, switches=switches)
+        self._path_cache[src] = cost
+        return cost
+
+    def reachable(self, node_id: int) -> bool:
+        try:
+            self.path_to_gmem(node_id)
+            return True
+        except InterconnectError:
+            return False
+
+    def describe(self) -> str:
+        """Human-readable fabric summary (examples / debugging)."""
+        nodes = [v for v, d in self.graph.nodes(data=True) if d.get("kind") == "node"]
+        switches = [v for v, d in self.graph.nodes(data=True) if d.get("kind") == "switch"]
+        down = [(u, v) for u, v, d in self.graph.edges(data=True) if not d.get("up", True)]
+        lines = [
+            f"fabric: {len(nodes)} node ports, {len(switches)} switches, "
+            f"{self.graph.number_of_edges()} links ({len(down)} down)"
+        ]
+        for node in sorted(nodes):
+            nid = int(node.split(":")[1])
+            try:
+                cost = self.path_to_gmem(nid)
+                lines.append(f"  {node} -> gmem: {cost.hops} hops, {cost.switches} switches")
+            except InterconnectError:
+                lines.append(f"  {node} -> gmem: UNREACHABLE")
+        return "\n".join(lines)

@@ -1,0 +1,436 @@
+"""The rack machine: the facade every layer above talks to.
+
+A :class:`RackMachine` owns the nodes, the global memory, the fabric, the
+fault injector, and the latency accounting.  All software in this
+repository — FlacDK, the FlacOS kernel, the applications — touches rack
+memory exclusively through this class (usually via a bound
+:class:`NodeContext`), so the substrate's incoherence and latency rules
+apply uniformly.
+
+Hardware contract reproduced from the paper (§2.1):
+
+* plain loads/stores go through the issuing node's private cache and are
+  **not** coherent across nodes;
+* atomic instructions bypass caches and are serialised rack-wide (the
+  libfam-atomic model), working on global memory and the node's own
+  local memory;
+* cache maintenance (flush / invalidate / write-back-invalidate) is
+  explicit and per-address-range.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from .cache import NodeCache
+from .faults import FaultInjector
+from .interconnect import Interconnect, node_vertex
+from .memory import (
+    AddressMap,
+    MemoryKind,
+    PhysicalMemory,
+    ProtectionError,
+    Region,
+    UncorrectableMemoryError,
+    build_address_map,
+)
+from .node import Node
+from .params import GLOBAL_BASE, LOCAL_STRIDE, RackConfig
+from . import topology as topo
+
+
+_INT_FMT = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+
+class RackMachine:
+    """A simulated memory-interconnected rack."""
+
+    def __init__(self, config: Optional[RackConfig] = None) -> None:
+        self.config = config or RackConfig()
+        cfg = self.config
+        gmem_kind = MemoryKind.PMEM if cfg.global_kind == "pmem" else MemoryKind.GLOBAL
+        self.global_mem = PhysicalMemory(cfg.global_mem_size, gmem_kind, "gmem")
+        self.nodes: Dict[int, Node] = {}
+        local_devices: Dict[int, PhysicalMemory] = {}
+        for node_id in range(cfg.n_nodes):
+            dev = PhysicalMemory(cfg.local_mem_size, MemoryKind.LOCAL_DRAM, f"local{node_id}")
+            local_devices[node_id] = dev
+            cache = NodeCache(
+                cfg.cache_lines,
+                cfg.cache_line_size,
+                read_backing=self._make_backing_reader(node_id),
+                write_backing=self._make_backing_writer(node_id),
+            )
+            self.nodes[node_id] = Node(node_id, cfg.cores_per_node, dev, cache)
+        self.address_map: AddressMap = build_address_map(local_devices, self.global_mem)
+        self.fabric: Interconnect = topo.build(cfg.topology, cfg.n_nodes)
+        self.faults = FaultInjector(cfg.faults, seed=cfg.seed)
+        self.latency = cfg.latency
+        self.line_size = cfg.cache_line_size
+
+    # -- address helpers -------------------------------------------------------
+
+    @property
+    def global_base(self) -> int:
+        return GLOBAL_BASE
+
+    @property
+    def global_size(self) -> int:
+        return self.global_mem.size
+
+    def local_base(self, node_id: int) -> int:
+        self._node(node_id)
+        return node_id * LOCAL_STRIDE
+
+    def local_size(self, node_id: int) -> int:
+        return self._node(node_id).local_mem.size
+
+    def is_global_addr(self, addr: int) -> bool:
+        return addr >= GLOBAL_BASE
+
+    def context(self, node_id: int) -> "NodeContext":
+        """A view of the machine bound to one node (the common handle)."""
+        self._node(node_id)
+        return NodeContext(self, node_id)
+
+    # -- time -------------------------------------------------------------------
+
+    def now(self, node_id: int) -> float:
+        return self._node(node_id).clock.now_ns
+
+    def advance(self, node_id: int, ns: float) -> float:
+        """Charge computation time unrelated to memory (software overhead)."""
+        return self._node(node_id).clock.advance(ns)
+
+    def max_time(self) -> float:
+        return max(n.clock.now_ns for n in self.nodes.values())
+
+    # -- data path ----------------------------------------------------------------
+
+    def load(self, node_id: int, addr: int, size: int, *, bypass_cache: bool = False) -> bytes:
+        """Read ``size`` bytes at physical ``addr`` through the node's cache."""
+        node, region, offset = self._access(node_id, addr, size)
+        if bypass_cache:
+            self._charge_bulk(node, region, size, write=False)
+            self._maybe_fault(region, offset, size, node_id)
+            self._check_poison(region, offset, size, node_id)
+            return region.device.read(offset, size)
+        data, hits, misses = node.cache.load(addr, size)
+        self._charge_cached(node, region, hits, misses)
+        return data
+
+    def store(
+        self, node_id: int, addr: int, data: bytes, *, bypass_cache: bool = False
+    ) -> None:
+        """Write ``data`` at physical ``addr``.
+
+        Cached stores dirty the node's cache and reach backing memory only
+        on flush/eviction; ``bypass_cache`` models non-temporal stores
+        that go straight to the device (still leaving any stale cached
+        copy in place — callers must invalidate if they mix modes).
+        """
+        node, region, offset = self._access(node_id, addr, len(data))
+        if bypass_cache:
+            self._charge_bulk(node, region, len(data), write=True)
+            self._maybe_fault(region, offset, len(data), node_id)
+            region.device.clear_poison(offset, len(data))
+            region.device.write(offset, data)
+            return
+        hits, misses, allocs = node.cache.store(addr, data)
+        # full-line allocations never fetch: charged like hits
+        self._charge_cached(node, region, hits + allocs, misses)
+
+    # -- atomics ---------------------------------------------------------------------
+
+    def atomic_cas(
+        self, node_id: int, addr: int, expected: int, new: int, width: int = 8
+    ) -> Tuple[bool, int]:
+        """Compare-and-swap directly on backing memory.
+
+        Returns ``(swapped, observed_value)``.  The issuing node's cached
+        copy of the line is invalidated so subsequent cached loads observe
+        the device value.
+        """
+        node, region, offset, fmt = self._atomic_prologue(node_id, addr, width)
+        current = struct.unpack(fmt, region.device.read(offset, width))[0]
+        swapped = current == expected
+        if swapped:
+            region.device.write(offset, struct.pack(fmt, new & _mask(width)))
+        return swapped, current
+
+    def atomic_fetch_add(self, node_id: int, addr: int, delta: int, width: int = 8) -> int:
+        """Atomically add ``delta`` (wrapping); returns the *old* value."""
+        node, region, offset, fmt = self._atomic_prologue(node_id, addr, width)
+        current = struct.unpack(fmt, region.device.read(offset, width))[0]
+        region.device.write(offset, struct.pack(fmt, (current + delta) & _mask(width)))
+        return current
+
+    def atomic_swap(self, node_id: int, addr: int, new: int, width: int = 8) -> int:
+        """Atomically exchange; returns the old value."""
+        node, region, offset, fmt = self._atomic_prologue(node_id, addr, width)
+        current = struct.unpack(fmt, region.device.read(offset, width))[0]
+        region.device.write(offset, struct.pack(fmt, new & _mask(width)))
+        return current
+
+    def atomic_load(self, node_id: int, addr: int, width: int = 8) -> int:
+        """Coherent (cache-bypassing) integer load."""
+        node, region, offset, fmt = self._atomic_prologue(node_id, addr, width)
+        return struct.unpack(fmt, region.device.read(offset, width))[0]
+
+    def atomic_store(self, node_id: int, addr: int, value: int, width: int = 8) -> None:
+        """Coherent (cache-bypassing) integer store."""
+        node, region, offset, fmt = self._atomic_prologue(node_id, addr, width)
+        region.device.write(offset, struct.pack(fmt, value & _mask(width)))
+
+    # -- cache maintenance -------------------------------------------------------------
+
+    def flush(self, node_id: int, addr: int, size: int) -> int:
+        """Write back dirty lines (``dc cvac``); returns lines written."""
+        node, region, _ = self._access(node_id, addr, size)
+        written = node.cache.flush(addr, size)
+        if written:
+            self._charge_writeback(node, region, written)
+        return written
+
+    def invalidate(self, node_id: int, addr: int, size: int) -> int:
+        """Drop cached lines without write-back (``dc ivac``)."""
+        node = self._node(node_id)
+        node.check_alive()
+        dropped = node.cache.invalidate(addr, size)
+        node.clock.advance(dropped * self.latency.invalidate_line_ns)
+        return dropped
+
+    def flush_invalidate(self, node_id: int, addr: int, size: int) -> Tuple[int, int]:
+        """Write back then drop (``dc civac``)."""
+        node, region, _ = self._access(node_id, addr, size)
+        written, dropped = node.cache.flush_invalidate(addr, size)
+        if written:
+            self._charge_writeback(node, region, written)
+        node.clock.advance(dropped * self.latency.invalidate_line_ns)
+        return written, dropped
+
+    def flush_all(self, node_id: int) -> int:
+        """Write back every dirty line in the node's cache (context-switch
+        and migration path).  Charged as a global-memory write burst —
+        conservative when some victims are local."""
+        node = self._node(node_id)
+        node.check_alive()
+        written = node.cache.flush_all()
+        if written:
+            lat = self.latency
+            cost = self.fabric.path_to_gmem(node_id)
+            first = lat.device_ns(is_global=True, hops=cost.hops, switches=cost.switches)
+            rest = (written - 1) * lat.pipelined_line_ns(self.line_size, is_global=True)
+            node.clock.advance(first + rest + written * lat.writeback_line_ns)
+        return written
+
+    def fence(self, node_id: int) -> None:
+        """Full memory barrier (ordering is already strict here; cost only)."""
+        node = self._node(node_id)
+        node.check_alive()
+        node.clock.advance(self.latency.fence_ns)
+
+    # -- fault management ------------------------------------------------------------------
+
+    def crash_node(self, node_id: int) -> None:
+        node = self._node(node_id)
+        node.crash()
+        self.faults.record_node_crash(node_id, now_ns=node.clock.now_ns)
+
+    def restart_node(self, node_id: int) -> None:
+        node = self._node(node_id)
+        node.restart(at_ns=self.max_time())
+
+    def power_cycle(self) -> None:
+        """Power the whole rack off and on.
+
+        Every node restarts with a cold cache and zeroed local DRAM.
+        The global pool keeps its bytes only when it is persistent
+        memory (``global_kind="pmem"``) — the paper's simulated
+        platform; a DRAM pool comes back zeroed.  Clocks keep running
+        (wall time does not reset).
+        """
+        latest = self.max_time()
+        for node in self.nodes.values():
+            node.restart(at_ns=latest)
+            node.local_mem.write(0, bytes(node.local_mem.size))
+            node.local_mem.poisoned.clear()
+        if self.global_mem.kind is not MemoryKind.PMEM:
+            self.global_mem.write(0, bytes(self.global_mem.size))
+            self.global_mem.poisoned.clear()
+
+    def set_link_state(self, u: str, v: str, up: bool) -> None:
+        self.fabric.set_link_state(u, v, up)
+        self.faults.record_link_change(u, v, up, now_ns=self.max_time())
+
+    def sever_node_link(self, node_id: int, up: bool = False) -> None:
+        """Take down (or restore) the first live link on the node's port."""
+        src = node_vertex(node_id)
+        for neighbor in self.fabric.graph.neighbors(src):
+            self.set_link_state(src, neighbor, up)
+            return
+        raise KeyError(f"node {node_id} has no fabric links")
+
+    # -- internals ------------------------------------------------------------------------------
+
+    def _node(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id} in rack of {len(self.nodes)}") from None
+
+    def _access(self, node_id: int, addr: int, size: int) -> Tuple[Node, Region, int]:
+        node = self._node(node_id)
+        node.check_alive()
+        region, offset = self.address_map.resolve(addr, max(size, 1))
+        if not region.is_global and region.owner != node_id:
+            raise ProtectionError(
+                f"node {node_id} cannot access node {region.owner}'s local memory at {addr:#x}"
+            )
+        return node, region, offset
+
+    def _atomic_prologue(self, node_id: int, addr: int, width: int):
+        if width not in _INT_FMT:
+            raise ValueError(f"atomic width must be one of {sorted(_INT_FMT)}, got {width}")
+        if addr % width:
+            raise ValueError(f"atomic access at {addr:#x} not {width}-byte aligned")
+        node, region, offset = self._access(node_id, addr, width)
+        cost = self.latency.global_atomic_ns if region.is_global else self.latency.local_atomic_ns
+        node.clock.advance(cost)
+        node.cache.invalidate(addr, width)
+        self._maybe_fault(region, offset, width, node_id)
+        self._check_poison(region, offset, width, node_id)
+        return node, region, offset, _INT_FMT[width]
+
+    def _path_cost(self, node_id: int, region: Region) -> Tuple[int, int]:
+        if not region.is_global:
+            return 0, 0
+        cost = self.fabric.path_to_gmem(node_id)
+        return cost.hops, cost.switches
+
+    def _is_pmem(self, region: Region) -> bool:
+        return region.device.kind is MemoryKind.PMEM
+
+    def _first_line_ns(self, node: Node, region: Region) -> float:
+        hops, switches = self._path_cost(node.node_id, region)
+        ns = self.latency.device_ns(is_global=region.is_global, hops=hops, switches=switches)
+        if self._is_pmem(region):
+            ns += self.latency.pmem_extra_ns
+        return ns
+
+    def _rest_line_ns(self, region: Region) -> float:
+        if self._is_pmem(region):
+            return self.line_size / self.latency.pmem_bw_bytes_per_ns
+        return self.latency.pipelined_line_ns(self.line_size, is_global=region.is_global)
+
+    def _charge_cached(self, node: Node, region: Region, hits: int, misses: int) -> None:
+        lat = self.latency
+        ns = hits * lat.cache_hit_ns
+        if misses:
+            ns += self._first_line_ns(node, region)
+            ns += (misses - 1) * self._rest_line_ns(region)
+            ns += misses * lat.cache_miss_overhead_ns
+        node.clock.advance(ns)
+
+    def _charge_bulk(self, node: Node, region: Region, size: int, *, write: bool) -> None:
+        n_lines = max(1, (size + self.line_size - 1) // self.line_size)
+        first = self._first_line_ns(node, region)
+        rest = (n_lines - 1) * self._rest_line_ns(region)
+        node.clock.advance(first + rest)
+
+    def _charge_writeback(self, node: Node, region: Region, lines: int) -> None:
+        first = self._first_line_ns(node, region)
+        rest = (lines - 1) * self._rest_line_ns(region)
+        node.clock.advance(first + rest + lines * self.latency.writeback_line_ns)
+
+    def _maybe_fault(self, region: Region, offset: int, size: int, node_id: int) -> None:
+        hops, switches = self._path_cost(node_id, region)
+        self.faults.on_access(
+            region, offset, size, node_id, self.now(node_id), path_cost=hops + switches
+        )
+
+    def _check_poison(self, region: Region, offset: int, size: int, node_id: int) -> None:
+        if region.device.is_poisoned(offset, size):
+            raise UncorrectableMemoryError(region.base + offset, node_id)
+
+    def _make_backing_reader(self, node_id: int):
+        def read_backing(addr: int, size: int) -> bytes:
+            region, offset = self.address_map.resolve(addr, size)
+            self._maybe_fault(region, offset, size, node_id)
+            self._check_poison(region, offset, size, node_id)
+            return region.device.read(offset, size)
+
+        return read_backing
+
+    def _make_backing_writer(self, node_id: int):
+        def write_backing(addr: int, data: bytes) -> None:
+            region, offset = self.address_map.resolve(addr, len(data))
+            region.device.clear_poison(offset, len(data))
+            region.device.write(offset, data)
+
+        return write_backing
+
+
+class NodeContext:
+    """All machine operations bound to one node — the handle software holds."""
+
+    __slots__ = ("machine", "node_id")
+
+    def __init__(self, machine: RackMachine, node_id: int) -> None:
+        self.machine = machine
+        self.node_id = node_id
+
+    # data path
+    def load(self, addr: int, size: int, *, bypass_cache: bool = False) -> bytes:
+        return self.machine.load(self.node_id, addr, size, bypass_cache=bypass_cache)
+
+    def store(self, addr: int, data: bytes, *, bypass_cache: bool = False) -> None:
+        self.machine.store(self.node_id, addr, data, bypass_cache=bypass_cache)
+
+    # atomics
+    def cas(self, addr: int, expected: int, new: int, width: int = 8) -> Tuple[bool, int]:
+        return self.machine.atomic_cas(self.node_id, addr, expected, new, width)
+
+    def fetch_add(self, addr: int, delta: int, width: int = 8) -> int:
+        return self.machine.atomic_fetch_add(self.node_id, addr, delta, width)
+
+    def swap(self, addr: int, new: int, width: int = 8) -> int:
+        return self.machine.atomic_swap(self.node_id, addr, new, width)
+
+    def atomic_load(self, addr: int, width: int = 8) -> int:
+        return self.machine.atomic_load(self.node_id, addr, width)
+
+    def atomic_store(self, addr: int, value: int, width: int = 8) -> None:
+        self.machine.atomic_store(self.node_id, addr, value, width)
+
+    # maintenance
+    def flush(self, addr: int, size: int) -> int:
+        return self.machine.flush(self.node_id, addr, size)
+
+    def invalidate(self, addr: int, size: int) -> int:
+        return self.machine.invalidate(self.node_id, addr, size)
+
+    def flush_invalidate(self, addr: int, size: int) -> Tuple[int, int]:
+        return self.machine.flush_invalidate(self.node_id, addr, size)
+
+    def fence(self) -> None:
+        self.machine.fence(self.node_id)
+
+    # time
+    def now(self) -> float:
+        return self.machine.now(self.node_id)
+
+    def advance(self, ns: float) -> float:
+        return self.machine.advance(self.node_id, ns)
+
+    @property
+    def node(self) -> Node:
+        return self.machine.nodes[self.node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeContext(node={self.node_id})"
+
+
+def _mask(width: int) -> int:
+    return (1 << (8 * width)) - 1

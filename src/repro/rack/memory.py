@@ -1,0 +1,168 @@
+"""Backing physical memory devices and the rack-wide address map.
+
+Every byte in the rack lives in exactly one :class:`PhysicalMemory`
+device.  The :class:`AddressMap` assigns each device a physical address
+range: node ``i``'s private DRAM sits at ``i * LOCAL_STRIDE`` and the
+shared global pool at :data:`~repro.rack.params.GLOBAL_BASE`.  Nodes may
+touch their own local range and the global range; touching another
+node's local range is a protection error, mirroring the paper's model
+where only *global* memory is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from .params import GLOBAL_BASE, LOCAL_STRIDE
+
+
+class MemoryKind(Enum):
+    """What sort of device backs a region."""
+
+    LOCAL_DRAM = "local_dram"
+    GLOBAL = "global"
+    PMEM = "pmem"
+
+
+class MemoryError_(Exception):
+    """Base class for memory access failures."""
+
+
+class OutOfRangeError(MemoryError_):
+    """Physical address falls outside every mapped region."""
+
+
+class ProtectionError(MemoryError_):
+    """A node touched a physical range it is not allowed to access."""
+
+
+class UncorrectableMemoryError(MemoryError_):
+    """An injected uncorrectable error surfaced on this access (poisoned data)."""
+
+    def __init__(self, addr: int, node_id: int) -> None:
+        super().__init__(f"uncorrectable memory error at {addr:#x} observed by node {node_id}")
+        self.addr = addr
+        self.node_id = node_id
+
+
+class PhysicalMemory:
+    """A flat, byte-addressable backing store.
+
+    This is *device-level* memory: caches sit above it, so the bytes here
+    are only as fresh as the last write-back.  Reads and writes are exact
+    (no latency — the machine charges time separately).
+    """
+
+    def __init__(self, size: int, kind: MemoryKind, name: str = "") -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self._buf = bytearray(size)
+        self.size = size
+        self.kind = kind
+        self.name = name or kind.value
+        #: Offsets poisoned by uncorrectable errors; reads of them raise.
+        self.poisoned: set = set()
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check(offset, size)
+        return bytes(self._buf[offset : offset + size])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self._buf[offset : offset + len(data)] = data
+
+    def flip_bit(self, offset: int, bit: int) -> None:
+        """Corrupt one bit in place (fault injection)."""
+        self._check(offset, 1)
+        self._buf[offset] ^= 1 << (bit & 7)
+
+    def poison(self, offset: int, size: int = 1) -> None:
+        """Mark a range as uncorrectable; accesses raise until cleared."""
+        self._check(offset, size)
+        self.poisoned.update(range(offset, offset + size))
+
+    def clear_poison(self, offset: int, size: int = 1) -> None:
+        self.poisoned.difference_update(range(offset, offset + size))
+
+    def is_poisoned(self, offset: int, size: int) -> bool:
+        if not self.poisoned:
+            return False
+        return any(o in self.poisoned for o in range(offset, offset + size))
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise OutOfRangeError(
+                f"access [{offset}, {offset + size}) outside device {self.name!r} of size {self.size}"
+            )
+
+    def __len__(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous physical address range mapped to a device."""
+
+    base: int
+    size: int
+    device: PhysicalMemory
+    #: Owning node for local regions; ``None`` for shared regions.
+    owner: Optional[int]
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def is_global(self) -> bool:
+        return self.owner is None
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class AddressMap:
+    """Maps rack-wide physical addresses to (region, device offset)."""
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+
+    def add_region(self, region: Region) -> None:
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    f"region [{region.base:#x},{region.end:#x}) overlaps "
+                    f"[{existing.base:#x},{existing.end:#x})"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+
+    def resolve(self, addr: int, size: int = 1) -> Tuple[Region, int]:
+        """Return the region containing ``[addr, addr+size)`` and its offset.
+
+        Accesses may not straddle region boundaries — the machine splits
+        larger accesses into per-line operations which always fit.
+        """
+        for region in self._regions:
+            if region.contains(addr, size):
+                return region, addr - region.base
+        raise OutOfRangeError(f"physical address {addr:#x} (+{size}) is unmapped")
+
+    @property
+    def regions(self) -> Tuple[Region, ...]:
+        return tuple(self._regions)
+
+
+def build_address_map(
+    local_devices: Dict[int, PhysicalMemory], global_device: PhysicalMemory
+) -> AddressMap:
+    """Standard rack layout: node-local regions then the global pool."""
+    amap = AddressMap()
+    for node_id, dev in sorted(local_devices.items()):
+        if dev.size > LOCAL_STRIDE:
+            raise ValueError("local memory exceeds its address stride")
+        amap.add_region(Region(base=node_id * LOCAL_STRIDE, size=dev.size, device=dev, owner=node_id))
+    amap.add_region(Region(base=GLOBAL_BASE, size=global_device.size, device=global_device, owner=None))
+    return amap

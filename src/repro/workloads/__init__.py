@@ -1,0 +1,22 @@
+"""Workload generators (keys, values, request mixes) for the benchmarks."""
+
+from .ycsb import WORKLOADS, YcsbConfig, YcsbWorkload, op_mix
+from .generators import (
+    KeyGenerator,
+    Request,
+    RequestStream,
+    ValueGenerator,
+    popularity_histogram,
+)
+
+__all__ = [
+    "KeyGenerator",
+    "Request",
+    "RequestStream",
+    "ValueGenerator",
+    "popularity_histogram",
+    "WORKLOADS",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "op_mix",
+]

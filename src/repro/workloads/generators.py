@@ -1,0 +1,120 @@
+"""Workload generators for the benchmarks.
+
+Deterministic (seeded) generators for key-value request streams — key
+popularity (uniform / zipfian), value sizes (fixed / lognormal), and
+operation mixes — plus deterministic payload synthesis so the same
+logical request always carries the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One KV operation."""
+
+    op: str  # "get" | "set"
+    key: bytes
+    value: bytes = b""
+
+
+class KeyGenerator:
+    """Draws keys from a fixed keyspace with a chosen skew."""
+
+    def __init__(
+        self,
+        n_keys: int,
+        distribution: str = "uniform",
+        zipf_s: float = 1.1,
+        seed: int = 0,
+        key_prefix: bytes = b"key:",
+    ) -> None:
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        if distribution not in ("uniform", "zipf"):
+            raise ValueError(f"unknown distribution {distribution!r}")
+        if distribution == "zipf" and zipf_s <= 1.0:
+            raise ValueError("zipf exponent must be > 1")
+        self.n_keys = n_keys
+        self.distribution = distribution
+        self.zipf_s = zipf_s
+        self.key_prefix = key_prefix
+        self.rng = np.random.default_rng(seed)
+
+    def key(self, index: int) -> bytes:
+        return self.key_prefix + b"%012d" % (index % self.n_keys)
+
+    def draw(self, count: int) -> List[bytes]:
+        if self.distribution == "uniform":
+            indices = self.rng.integers(0, self.n_keys, size=count)
+        else:
+            indices = (self.rng.zipf(self.zipf_s, size=count) - 1) % self.n_keys
+        return [self.key(int(i)) for i in indices]
+
+
+class ValueGenerator:
+    """Synthesises values of configurable size."""
+
+    def __init__(self, size: int = 64, sigma: float = 0.0, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError("value size must be >= 1")
+        self.size = size
+        self.sigma = sigma
+        self.rng = np.random.default_rng(seed)
+
+    def value_for(self, key: bytes) -> bytes:
+        """Deterministic content for a key, at the configured size."""
+        if self.sigma > 0:
+            size = max(1, int(self.rng.lognormal(np.log(self.size), self.sigma)))
+        else:
+            size = self.size
+        seed = hashlib.blake2b(key, digest_size=32).digest()
+        reps = (size + len(seed) - 1) // len(seed)
+        return (seed * reps)[:size]
+
+
+class RequestStream:
+    """A reproducible GET/SET mix over a keyspace."""
+
+    def __init__(
+        self,
+        keys: KeyGenerator,
+        values: ValueGenerator,
+        get_ratio: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= get_ratio <= 1.0:
+            raise ValueError("get_ratio must be within [0, 1]")
+        self.keys = keys
+        self.values = values
+        self.get_ratio = get_ratio
+        self.rng = np.random.default_rng(seed)
+
+    def generate(self, count: int) -> Iterator[Request]:
+        keys = self.keys.draw(count)
+        ops = self.rng.random(count)
+        for key, roll in zip(keys, ops):
+            if roll < self.get_ratio:
+                yield Request(op="get", key=key)
+            else:
+                yield Request(op="set", key=key, value=self.values.value_for(key))
+
+    def preload(self) -> Iterator[Request]:
+        """SETs covering the whole keyspace (so GETs always hit)."""
+        for index in range(self.keys.n_keys):
+            key = self.keys.key(index)
+            yield Request(op="set", key=key, value=self.values.value_for(key))
+
+
+def popularity_histogram(keys: List[bytes], top: int = 10) -> List[Tuple[bytes, int]]:
+    """The ``top`` most-drawn keys with their counts (skew diagnostics)."""
+    counts: dict = {}
+    for key in keys:
+        counts[key] = counts.get(key, 0) + 1
+    return sorted(counts.items(), key=lambda kv: -kv[1])[:top]

@@ -1,0 +1,26 @@
+"""Tests for the python -m repro.bench experiment runner."""
+
+import subprocess
+import sys
+
+
+def test_list_enumerates_experiments():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--list"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    for exp_id in ("E1", "E2", "E13"):
+        assert exp_id in result.stdout
+    assert "Figure 4" in result.stdout
+
+
+def test_unknown_id_rejected():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "E99"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 2
+    assert "unknown experiment" in result.stderr

@@ -1,0 +1,98 @@
+"""Tests for the HPC collectives (§3.4 scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.collectives import SharedMemoryCollectives, TcpCollectives
+from repro.bench import build_rig
+from repro.net import TcpNetwork
+
+
+def _ranks(rig, n=4):
+    """n ranks spread round-robin over the two nodes."""
+    return [rig.machine.context(i % 2) for i in range(n)]
+
+
+@pytest.fixture
+def shm(request):
+    rig = build_rig()
+    coll = SharedMemoryCollectives(
+        rig.kernel.ipc.buffers, rig.kernel.arena.take(64, align=8)
+    ).format(rig.c0)
+    return rig, coll
+
+
+class TestSharedMemoryCollectives:
+    def test_broadcast_delivers_to_all(self, shm):
+        rig, coll = shm
+        ranks = _ranks(rig)
+        report = coll.broadcast(ranks[0], ranks, b"model weights" * 100)
+        assert report.bytes_over_wire == 0
+        assert report.makespan_ns > 0
+
+    def test_allreduce_sums_exactly(self, shm):
+        rig, coll = shm
+        ranks = _ranks(rig)
+        vectors = {i: np.full(64, float(i + 1)) for i in range(len(ranks))}
+        result, report = coll.allreduce_sum(ranks, vectors)
+        np.testing.assert_allclose(result, np.full(64, 1.0 + 2 + 3 + 4))
+        assert report.bytes_over_wire == 0
+
+    def test_allreduce_with_negative_and_zero(self, shm):
+        rig, coll = shm
+        ranks = _ranks(rig, n=3)
+        vectors = {0: np.array([1.5, -2.0]), 1: np.zeros(2), 2: np.array([-1.5, 2.0])}
+        result, _ = coll.allreduce_sum(ranks, vectors)
+        np.testing.assert_allclose(result, np.zeros(2))
+
+
+class TestTcpCollectives:
+    def test_broadcast_tree_delivers(self):
+        rig = build_rig()
+        coll = TcpCollectives(TcpNetwork())
+        ranks = _ranks(rig)
+        report = coll.broadcast(0, ranks, b"weights" * 50)
+        assert report.bytes_over_wire > 0
+
+    def test_ring_allreduce_sums_exactly(self):
+        rig = build_rig()
+        coll = TcpCollectives(TcpNetwork())
+        ranks = _ranks(rig)
+        vectors = {i: np.arange(32, dtype=np.float64) * (i + 1) for i in range(4)}
+        result, report = coll.allreduce_sum(ranks, vectors)
+        np.testing.assert_allclose(result, np.arange(32, dtype=np.float64) * 10)
+        assert report.bytes_over_wire > 0
+
+
+class TestStrategyComparison:
+    def test_same_results_both_ways(self, shm):
+        rig, coll = shm
+        ranks = _ranks(rig)
+        vectors = {i: np.random.default_rng(i).normal(size=128) for i in range(4)}
+        shm_result, _ = coll.allreduce_sum(ranks, vectors)
+        rig2 = build_rig()
+        tcp_result, _ = TcpCollectives(TcpNetwork()).allreduce_sum(_ranks(rig2), vectors)
+        np.testing.assert_allclose(shm_result, tcp_result)
+
+    def test_shared_memory_broadcast_wins_for_large_payloads(self, shm):
+        rig, coll = shm
+        ranks = _ranks(rig)
+        payload = b"w" * 65536
+        rig.align()
+        shm_report = coll.broadcast(ranks[0], ranks, payload)
+        rig2 = build_rig()
+        ranks2 = _ranks(rig2)
+        rig2.align()
+        tcp_report = TcpCollectives(TcpNetwork()).broadcast(0, ranks2, payload)
+        assert shm_report.makespan_ns < tcp_report.makespan_ns
+
+    def test_shared_memory_allreduce_wins_for_large_vectors(self, shm):
+        rig, coll = shm
+        ranks = _ranks(rig)
+        vectors = {i: np.ones(8192) for i in range(4)}  # 64 KiB each
+        rig.align()
+        _, shm_report = coll.allreduce_sum(ranks, vectors)
+        rig2 = build_rig()
+        rig2.align()
+        _, tcp_report = TcpCollectives(TcpNetwork()).allreduce_sum(_ranks(rig2), vectors)
+        assert shm_report.makespan_ns < tcp_report.makespan_ns

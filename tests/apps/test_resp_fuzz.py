@@ -1,0 +1,126 @@
+"""Property/fuzz tests for the RESP codec and the replicated dicts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import resp
+from repro.flacdk.arena import Arena
+from repro.flacdk.structures import DelegatedDict, ReplicatedDict
+from repro.flacdk.sync import OperationLog
+from repro.rack import RackConfig, RackMachine
+
+# RESP values a server can legally emit
+_reply_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.binary(max_size=200),
+        st.text(alphabet=st.characters(blacklist_characters="\r\n", codec="ascii"), max_size=50),
+    ),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=15,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(value=_reply_values)
+def test_any_reply_round_trips(value):
+    decoded, rest = resp.decode(resp.encode_reply(value))
+    assert rest == b""
+    assert decoded == value
+
+
+@settings(max_examples=150, deadline=None)
+@given(parts=st.lists(st.binary(max_size=100), min_size=1, max_size=8))
+def test_any_command_round_trips(parts):
+    assert resp.decode_command(resp.encode_command(*parts)) == parts
+
+
+@settings(max_examples=200, deadline=None)
+@given(garbage=st.binary(min_size=1, max_size=120))
+def test_garbage_never_escapes_resp_error(garbage):
+    """Malformed input raises RespError (or decodes cleanly if it happens
+    to be valid) — never IndexError/ValueError/UnicodeDecodeError."""
+    try:
+        resp.decode(garbage)
+    except resp.RespError:
+        pass
+    except (ValueError, IndexError, UnicodeDecodeError) as exc:  # pragma: no cover
+        pytest.fail(f"raw {type(exc).__name__} escaped the decoder: {exc}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=_reply_values, cut=st.integers(min_value=0, max_value=50))
+def test_truncated_replies_raise_cleanly(value, cut):
+    encoded = resp.encode_reply(value)
+    truncated = encoded[: max(0, len(encoded) - 1 - cut)]
+    if not truncated:
+        with pytest.raises(resp.RespError):
+            resp.decode(truncated)
+        return
+    try:
+        resp.decode(truncated)  # a prefix can itself be a valid value
+    except resp.RespError:
+        pass
+
+
+_dict_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get", "del"]),
+        st.binary(min_size=1, max_size=12),
+        st.binary(max_size=24),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=_dict_ops)
+def test_replicated_dict_matches_model_across_nodes(ops):
+    machine = RackMachine(RackConfig(n_nodes=4, topology="single_switch", global_mem_size=1 << 24))
+    ctxs = [machine.context(i) for i in range(4)]
+    arena = Arena(machine.global_base, machine.global_size)
+    log = OperationLog(arena.take(OperationLog.region_size(64)), 64).format(ctxs[0])
+    rd = ReplicatedDict(log)
+    model = {}
+    for verb, key, value, node in ops:
+        ctx = ctxs[node]
+        if verb == "put":
+            rd.put(ctx, key, value)
+            model[key] = value
+        elif verb == "get":
+            assert rd.get(ctx, key) == model.get(key)
+        else:
+            assert rd.delete(ctx, key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        for ctx in ctxs:
+            assert rd.get(ctx, key) == value
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=_dict_ops)
+def test_delegated_dict_matches_model_across_nodes(ops):
+    machine = RackMachine(RackConfig(n_nodes=4, topology="single_switch", global_mem_size=1 << 24))
+    ctxs = [machine.context(i) for i in range(4)]
+    arena = Arena(machine.global_base, machine.global_size)
+    dd = DelegatedDict(
+        arena.take(DelegatedDict.region_size(2, 4)), owners=[0, 2], n_nodes=4
+    ).format(ctxs[0])
+    model = {}
+    for verb, key, value, node in ops:
+        ctx = ctxs[node]
+        owner_ctx = ctxs[dd.owners[dd.partition_of(key)]]
+        if verb == "put":
+            dd.put(ctx, owner_ctx, key, value)
+            model[key] = value
+        elif verb == "get":
+            assert dd.get(ctx, owner_ctx, key) == model.get(key)
+        else:
+            assert dd.delete(ctx, owner_ctx, key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        owner_ctx = ctxs[dd.owners[dd.partition_of(key)]]
+        assert dd.get(ctxs[1], owner_ctx, key) == value

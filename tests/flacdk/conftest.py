@@ -1,0 +1,31 @@
+"""Fixtures for FlacDK tests: a rack with a pre-carved shared arena."""
+
+import pytest
+
+from repro.flacdk.alloc import EpochReclaimer, SharedHeap
+from repro.flacdk.arena import Arena
+from repro.rack import RackConfig, RackMachine
+
+
+@pytest.fixture
+def rig():
+    """(machine, [ctx0..ctx3], arena) on a 4-node switched rack."""
+    machine = RackMachine(
+        RackConfig(n_nodes=4, topology="single_switch", global_mem_size=1 << 26)
+    )
+    ctxs = [machine.context(i) for i in range(4)]
+    arena = Arena(machine.global_base, machine.global_size)
+    return machine, ctxs, arena
+
+
+@pytest.fixture
+def heap(rig):
+    _, ctxs, arena = rig
+    return SharedHeap(arena.take(1 << 22), 1 << 22).format(ctxs[0])
+
+
+@pytest.fixture
+def reclaimer(rig):
+    machine, ctxs, arena = rig
+    base = arena.take(EpochReclaimer.region_size(len(ctxs)))
+    return EpochReclaimer(base, n_nodes=len(ctxs)).format(ctxs[0])

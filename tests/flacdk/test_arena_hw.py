@@ -1,0 +1,110 @@
+"""Tests for the arena carver and the level-1 hardware ops."""
+
+import pytest
+
+from repro.flacdk.arena import Arena, ArenaExhausted
+from repro.flacdk.hw import AtomicCell, FlagCell, HwOps, SequenceCell, causal_handoff
+
+
+class TestArena:
+    def test_regions_do_not_overlap(self):
+        arena = Arena(0x1000, 4096)
+        a = arena.take(100)
+        b = arena.take(100)
+        assert b >= a + 100
+
+    def test_alignment_respected(self):
+        arena = Arena(0x1000, 4096)
+        arena.take(1)
+        addr = arena.take(8, align=256)
+        assert addr % 256 == 0
+
+    def test_exhaustion_raises(self):
+        arena = Arena(0, 128)
+        arena.take(100)
+        with pytest.raises(ArenaExhausted):
+            arena.take(100)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            Arena(0, 128).take(8, align=48)
+
+    def test_remaining_decreases(self):
+        arena = Arena(0, 1024)
+        before = arena.remaining
+        arena.take(64)
+        assert arena.remaining < before
+
+
+class TestHwOps:
+    def test_typed_round_trip(self, rig):
+        _, ctxs, arena = rig
+        hw = HwOps(ctxs[0])
+        addr = arena.take(64)
+        hw.write_u64(addr, 0xDEADBEEF)
+        hw.write_u32(addr + 8, 77)
+        assert hw.read_u64(addr) == 0xDEADBEEF
+        assert hw.read_u32(addr + 8) == 77
+
+    def test_write_shared_visible_to_fresh_reader(self, rig):
+        _, ctxs, arena = rig
+        addr = arena.take(64)
+        HwOps(ctxs[0]).write_shared(addr, b"published")
+        assert HwOps(ctxs[1]).read_shared(addr, 9) == b"published"
+
+    def test_plain_write_not_visible(self, rig):
+        _, ctxs, arena = rig
+        addr = arena.take(64)
+        HwOps(ctxs[0]).write_bytes(addr, b"unflushed")
+        assert HwOps(ctxs[1]).read_shared(addr, 9) == bytes(9)
+
+    def test_shared_u64_round_trip(self, rig):
+        _, ctxs, arena = rig
+        addr = arena.take(8, align=8)
+        HwOps(ctxs[2]).write_shared_u64(addr, 12345)
+        assert HwOps(ctxs[3]).read_shared_u64(addr) == 12345
+
+    def test_causal_handoff_orders_clocks(self, rig):
+        _, ctxs, _ = rig
+        ctxs[0].advance(5000)
+        causal_handoff(ctxs[0], ctxs[1])
+        assert ctxs[1].now() >= 5000
+
+
+class TestCells:
+    def test_atomic_cell_coherent_across_nodes(self, rig):
+        _, ctxs, arena = rig
+        cell = AtomicCell(arena.take(8, align=8))
+        cell.store(ctxs[0], 5)
+        assert cell.load(ctxs[3]) == 5
+        assert cell.fetch_add(ctxs[1], 2) == 5
+        assert cell.load(ctxs[2]) == 7
+
+    def test_cell_width_validation(self):
+        with pytest.raises(ValueError):
+            AtomicCell(0, width=5)
+
+    def test_sequence_bump_returns_new(self, rig):
+        _, ctxs, arena = rig
+        seq = SequenceCell(arena.take(8, align=8))
+        seq.store(ctxs[0], 0)
+        assert seq.bump(ctxs[0]) == 1
+        assert seq.bump(ctxs[1]) == 2
+
+    def test_sequence_wait_at_least(self, rig):
+        _, ctxs, arena = rig
+        seq = SequenceCell(arena.take(8, align=8))
+        seq.store(ctxs[0], 3)
+        assert seq.wait_at_least(ctxs[1], 3) == 3
+        with pytest.raises(TimeoutError):
+            seq.wait_at_least(ctxs[1], 4, max_polls=10)
+
+    def test_flag_ring_and_take(self, rig):
+        _, ctxs, arena = rig
+        flag = FlagCell(arena.take(8, align=8))
+        flag.store(ctxs[0], 0)
+        assert not flag.is_rung(ctxs[1])
+        flag.ring(ctxs[0], tag=9)
+        assert flag.is_rung(ctxs[1])
+        assert flag.take(ctxs[1]) == 9
+        assert flag.take(ctxs[1]) == 0

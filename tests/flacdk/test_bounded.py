@@ -1,0 +1,103 @@
+"""Tests for the bounded-incoherence cell (the paper's ref [49])."""
+
+import pytest
+
+from repro.flacdk.sync import BoundedStaleCell
+
+
+@pytest.fixture
+def cell(rig):
+    _, ctxs, arena = rig
+    return BoundedStaleCell(arena.take(128), capacity=64, bound_ns=10_000.0).format(ctxs[0]), ctxs
+
+
+class TestContract:
+    def test_first_read_is_fresh(self, cell):
+        cell, ctxs = cell
+        cell.write(ctxs[0], b"v1")
+        assert cell.read(ctxs[1], 2) == b"v1"
+        assert cell.stats.fresh_reads == 1
+
+    def test_reads_within_bound_may_be_stale(self, cell):
+        cell, ctxs = cell
+        cell.write(ctxs[0], b"v1")
+        assert cell.read(ctxs[1], 2) == b"v1"  # refresh
+        cell.write(ctxs[0], b"v2")
+        # within the bound: the reader is allowed (and here does) see v1
+        assert cell.read(ctxs[1], 2) == b"v1"
+        assert cell.version_lag(ctxs[1]) == 1
+
+    def test_bound_expiry_forces_refresh(self, cell):
+        cell, ctxs = cell
+        cell.write(ctxs[0], b"v1")
+        cell.read(ctxs[1], 2)
+        cell.write(ctxs[0], b"v2")
+        ctxs[1].advance(20_000)  # past the 10 us bound
+        assert cell.read(ctxs[1], 2) == b"v2"
+        assert cell.version_lag(ctxs[1]) == 0
+
+    def test_staleness_never_exceeds_bound_in_time(self, cell):
+        cell, ctxs = cell
+        cell.write(ctxs[0], b"v1")
+        last_refresh_time = None
+        for step in range(20):
+            before = ctxs[1].now()
+            cell.read(ctxs[1], 2)
+            if cell.stats.fresh_reads and last_refresh_time is None:
+                last_refresh_time = before
+            ctxs[1].advance(3_000)
+        # reads spaced 3 us with a 10 us bound: refreshes happen at least
+        # every 4 reads, so the cached value can never age past the bound
+        assert cell.stats.fresh_reads >= 20 // 4
+
+    def test_read_fresh_bypasses_contract(self, cell):
+        cell, ctxs = cell
+        cell.write(ctxs[0], b"v1")
+        cell.read(ctxs[1], 2)
+        cell.write(ctxs[0], b"v2")
+        assert cell.read_fresh(ctxs[1], 2) == b"v2"
+
+    def test_max_version_lag_recorded(self, cell):
+        cell, ctxs = cell
+        for i in range(5):
+            cell.write(ctxs[0], b"v%d" % i)
+        cell.read(ctxs[1], 2)
+        assert cell.stats.max_version_lag == 5
+
+
+class TestCost:
+    def test_cached_reads_are_cheap(self, cell):
+        cell, ctxs = cell
+        cell.write(ctxs[0], b"hot metric")
+        cell.read(ctxs[1], 10)  # refresh once
+        t0 = ctxs[1].now()
+        for _ in range(10):
+            cell.read(ctxs[1], 10)
+        cached_cost = (ctxs[1].now() - t0) / 10
+        t0 = ctxs[1].now()
+        cell.read_fresh(ctxs[1], 10)
+        fresh_cost = ctxs[1].now() - t0
+        assert cached_cost < fresh_cost / 10
+
+    def test_zero_bound_is_always_fresh(self, rig):
+        _, ctxs, arena = rig
+        cell = BoundedStaleCell(arena.take(128), 64, bound_ns=0.0).format(ctxs[0])
+        cell.write(ctxs[0], b"a")
+        cell.read(ctxs[1], 1)
+        cell.write(ctxs[0], b"b")
+        ctxs[1].advance(1)  # any time at all expires a zero bound
+        assert cell.read(ctxs[1], 1) == b"b"
+
+
+class TestValidation:
+    def test_oversized_write_rejected(self, cell):
+        cell, ctxs = cell
+        with pytest.raises(ValueError):
+            cell.write(ctxs[0], b"z" * 100)
+
+    def test_bad_parameters(self, rig):
+        _, _, arena = rig
+        with pytest.raises(ValueError):
+            BoundedStaleCell(arena.take(64), 0, 10.0)
+        with pytest.raises(ValueError):
+            BoundedStaleCell(arena.take(64), 8, -1.0)

@@ -1,0 +1,346 @@
+"""Tests for shared data structures: ring, vector, hash maps, radix tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flacdk.arena import Arena
+from repro.flacdk.alloc import SharedHeap
+from repro.flacdk.structures import (
+    DelegatedDict,
+    LockedHashMap,
+    MapFullError,
+    ReplicatedDict,
+    SharedRadixTree,
+    SharedVector,
+    SpscRing,
+    VectorError,
+    VectorFullError,
+    stable_hash,
+)
+from repro.flacdk.sync import OperationLog
+from repro.rack import RackConfig, RackMachine
+
+
+class TestSpscRing:
+    @pytest.fixture
+    def ring(self, rig):
+        _, ctxs, arena = rig
+        base = arena.take(SpscRing.region_size(4, 256))
+        return SpscRing(base, 4, 256).format(ctxs[0])
+
+    def test_fifo_order_across_nodes(self, rig, ring):
+        _, ctxs, _ = rig
+        for i in range(3):
+            assert ring.try_push(ctxs[0], bytes([i]))
+        assert [ring.try_pop(ctxs[1]) for _ in range(3)] == [b"\x00", b"\x01", b"\x02"]
+
+    def test_pop_empty_returns_none(self, rig, ring):
+        _, ctxs, _ = rig
+        assert ring.try_pop(ctxs[1]) is None
+
+    def test_push_full_returns_false(self, rig, ring):
+        _, ctxs, _ = rig
+        for i in range(4):
+            assert ring.try_push(ctxs[0], b"x")
+        assert not ring.try_push(ctxs[0], b"y")
+        assert ring.is_full(ctxs[0])
+
+    def test_wraparound(self, rig, ring):
+        _, ctxs, _ = rig
+        for round_ in range(10):
+            assert ring.try_push(ctxs[0], bytes([round_]))
+            assert ring.try_pop(ctxs[1]) == bytes([round_])
+
+    def test_oversized_message_rejected(self, rig, ring):
+        _, ctxs, _ = rig
+        with pytest.raises(Exception):
+            ring.try_push(ctxs[0], b"z" * 1000)
+
+    def test_consumer_clock_after_producer(self, rig, ring):
+        _, ctxs, _ = rig
+        ctxs[0].advance(7e5)
+        ring.try_push(ctxs[0], b"late")
+        ring.try_pop(ctxs[1])
+        assert ctxs[1].now() >= 7e5
+
+    def test_peek_len(self, rig, ring):
+        _, ctxs, _ = rig
+        assert ring.peek_len(ctxs[1]) is None
+        ring.try_push(ctxs[0], b"12345")
+        assert ring.peek_len(ctxs[1]) == 5
+        assert ring.size(ctxs[1]) == 1  # peek does not consume
+
+
+@settings(max_examples=40, deadline=None)
+@given(messages=st.lists(st.binary(min_size=0, max_size=64), max_size=30))
+def test_ring_delivers_exactly_in_order(messages):
+    machine = RackMachine(RackConfig(n_nodes=2, global_mem_size=1 << 22))
+    c0, c1 = machine.context(0), machine.context(1)
+    ring = SpscRing(machine.global_base, capacity=8, payload_capacity=64).format(c0)
+    received = []
+    pending = list(messages)
+    while pending or ring.size(c0):
+        while pending and ring.try_push(c0, pending[0]):
+            pending.pop(0)
+        msg = ring.try_pop(c1)
+        if msg is not None:
+            received.append(msg)
+    assert received == list(messages)
+
+
+class TestSharedVector:
+    @pytest.fixture
+    def vector(self, rig):
+        _, ctxs, arena = rig
+        base = arena.take(SharedVector.region_size(16, 32))
+        return SharedVector(base, 16, 32).format(ctxs[0])
+
+    def test_append_get_across_nodes(self, rig, vector):
+        _, ctxs, _ = rig
+        idx = vector.append(ctxs[0], b"A" * 32)
+        assert vector.get(ctxs[3], idx) == b"A" * 32
+
+    def test_indices_sequential(self, rig, vector):
+        _, ctxs, _ = rig
+        assert [vector.append(ctxs[i % 4], bytes([i]) * 32) for i in range(5)] == list(range(5))
+
+    def test_wrong_record_size_rejected(self, rig, vector):
+        _, ctxs, _ = rig
+        with pytest.raises(VectorError):
+            vector.append(ctxs[0], b"short")
+
+    def test_capacity_enforced(self, rig):
+        _, ctxs, arena = rig
+        v = SharedVector(arena.take(SharedVector.region_size(2, 8)), 2, 8).format(ctxs[0])
+        v.append(ctxs[0], b"12345678")
+        v.append(ctxs[0], b"12345678")
+        with pytest.raises(VectorFullError):
+            v.append(ctxs[0], b"12345678")
+
+    def test_update_in_place(self, rig, vector):
+        _, ctxs, _ = rig
+        idx = vector.append(ctxs[0], b"B" * 32)
+        vector.update(ctxs[1], idx, b"C" * 32)
+        assert vector.get(ctxs[2], idx) == b"C" * 32
+
+    def test_update_uncommitted_rejected(self, rig, vector):
+        _, ctxs, _ = rig
+        with pytest.raises(VectorError):
+            vector.update(ctxs[0], 3, b"D" * 32)
+
+    def test_scan_yields_committed(self, rig, vector):
+        _, ctxs, _ = rig
+        for i in range(3):
+            vector.append(ctxs[0], bytes([i]) * 32)
+        assert [idx for idx, _ in vector.scan(ctxs[1])] == [0, 1, 2]
+
+    def test_len_redirects_to_count(self, rig, vector):
+        _, ctxs, _ = rig
+        with pytest.raises(TypeError):
+            len(vector)
+        assert vector.count(ctxs[0]) == 0
+
+
+class TestLockedHashMap:
+    @pytest.fixture
+    def hmap(self, rig):
+        _, ctxs, arena = rig
+        base = arena.take(LockedHashMap.region_size(32))
+        return LockedHashMap(base, 32).format(ctxs[0])
+
+    def test_put_get_across_nodes(self, rig, hmap):
+        _, ctxs, _ = rig
+        hmap.put(ctxs[0], b"key", b"value")
+        assert hmap.get(ctxs[3], b"key") == b"value"
+
+    def test_missing_key(self, rig, hmap):
+        _, ctxs, _ = rig
+        assert hmap.get(ctxs[0], b"nope") is None
+
+    def test_overwrite(self, rig, hmap):
+        _, ctxs, _ = rig
+        hmap.put(ctxs[0], b"k", b"v1")
+        hmap.put(ctxs[1], b"k", b"v2")
+        assert hmap.get(ctxs[2], b"k") == b"v2"
+
+    def test_delete_and_tombstone_reuse(self, rig, hmap):
+        _, ctxs, _ = rig
+        hmap.put(ctxs[0], b"k", b"v")
+        assert hmap.delete(ctxs[1], b"k")
+        assert hmap.get(ctxs[2], b"k") is None
+        assert not hmap.delete(ctxs[2], b"k")
+        hmap.put(ctxs[3], b"k", b"v2")  # reuses tombstone
+        assert hmap.get(ctxs[0], b"k") == b"v2"
+
+    def test_fills_to_capacity_then_raises(self, rig):
+        _, ctxs, arena = rig
+        small = LockedHashMap(arena.take(LockedHashMap.region_size(4)), 4).format(ctxs[0])
+        for i in range(4):
+            small.put(ctxs[0], bytes([i]), b"v")
+        with pytest.raises(MapFullError):
+            small.put(ctxs[0], b"\x09", b"v")
+
+    def test_size_limits(self, rig, hmap):
+        _, ctxs, _ = rig
+        with pytest.raises(Exception):
+            hmap.put(ctxs[0], b"k" * 100, b"v")
+        with pytest.raises(Exception):
+            hmap.put(ctxs[0], b"k", b"v" * 1000)
+
+    def test_stable_hash_is_stable(self):
+        assert stable_hash(b"abc") == stable_hash(b"abc")
+        assert stable_hash(b"abc") != stable_hash(b"abd")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "del"]),
+            st.binary(min_size=1, max_size=8),
+            st.binary(max_size=16),
+        ),
+        max_size=40,
+    )
+)
+def test_locked_hashmap_matches_model_dict(ops):
+    machine = RackMachine(RackConfig(n_nodes=2, global_mem_size=1 << 24))
+    ctxs = [machine.context(0), machine.context(1)]
+    hmap = LockedHashMap(
+        machine.global_base, capacity=128, key_capacity=8, value_capacity=16
+    ).format(ctxs[0])
+    model = {}
+    for i, (verb, key, value) in enumerate(ops):
+        ctx = ctxs[i % 2]
+        if verb == "put":
+            hmap.put(ctx, key, value)
+            model[key] = value
+        elif verb == "get":
+            assert hmap.get(ctx, key) == model.get(key)
+        else:
+            assert hmap.delete(ctx, key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert hmap.get(ctxs[0], key) == value
+
+
+class TestReplicatedDict:
+    def test_basic_semantics(self, rig):
+        _, ctxs, arena = rig
+        log = OperationLog(arena.take(OperationLog.region_size(64)), 64).format(ctxs[0])
+        rd = ReplicatedDict(log)
+        rd.put(ctxs[0], b"a", b"1")
+        assert rd.get(ctxs[3], b"a") == b"1"
+        assert rd.delete(ctxs[1], b"a")
+        assert rd.get(ctxs[2], b"a") is None
+        assert not rd.delete(ctxs[0], b"a")
+
+    def test_local_get_avoids_log_traffic(self, rig):
+        _, ctxs, arena = rig
+        log = OperationLog(arena.take(OperationLog.region_size(64)), 64).format(ctxs[0])
+        rd = ReplicatedDict(log)
+        rd.put(ctxs[0], b"a", b"1")
+        rd.get(ctxs[1], b"a")  # sync node 1
+        before = ctxs[1].now()
+        for _ in range(10):
+            assert rd.get_local(ctxs[1], b"a") == b"1"
+        assert ctxs[1].now() == before  # purely local
+
+
+class TestDelegatedDict:
+    def test_partitioned_semantics(self, rig):
+        _, ctxs, arena = rig
+        base = arena.take(DelegatedDict.region_size(2, 4))
+        dd = DelegatedDict(base, owners=[0, 1], n_nodes=4).format(ctxs[0])
+        for key in (b"alpha", b"beta", b"gamma", b"delta"):
+            owner = dd.owners[dd.partition_of(key)]
+            client = ctxs[(owner + 1) % 4]
+            dd.put(client, ctxs[owner], key, key.upper())
+        for key in (b"alpha", b"beta", b"gamma", b"delta"):
+            owner = dd.owners[dd.partition_of(key)]
+            client = ctxs[(owner + 2) % 4]
+            assert dd.get(client, ctxs[owner], key) == key.upper()
+
+    def test_owner_local_fast_path(self, rig):
+        _, ctxs, arena = rig
+        base = arena.take(DelegatedDict.region_size(1, 4))
+        dd = DelegatedDict(base, owners=[2], n_nodes=4).format(ctxs[0])
+        dd.put(ctxs[2], ctxs[2], b"k", b"v")  # owner operating on own partition
+        assert dd.get(ctxs[2], ctxs[2], b"k") == b"v"
+        assert dd.delete(ctxs[2], ctxs[2], b"k")
+
+
+class TestSharedRadixTree:
+    @pytest.fixture
+    def tree(self, rig, heap):
+        _, ctxs, arena = rig
+        return SharedRadixTree(arena.take(8, align=8), heap).format(ctxs[0])
+
+    def test_insert_lookup_across_nodes(self, rig, tree):
+        _, ctxs, _ = rig
+        tree.insert(ctxs[0], 0x123456, 99)
+        assert tree.lookup(ctxs[3], 0x123456) == 99
+
+    def test_missing_key(self, rig, tree):
+        _, ctxs, _ = rig
+        assert tree.lookup(ctxs[0], 42) is None
+
+    def test_overwrite_and_remove(self, rig, tree):
+        _, ctxs, _ = rig
+        tree.insert(ctxs[0], 7, 1)
+        tree.insert(ctxs[1], 7, 2)
+        assert tree.lookup(ctxs[2], 7) == 2
+        assert tree.remove(ctxs[3], 7) == 2
+        assert tree.lookup(ctxs[0], 7) is None
+        assert tree.remove(ctxs[0], 7) is None
+
+    def test_insert_if_absent(self, rig, tree):
+        _, ctxs, _ = rig
+        assert tree.insert_if_absent(ctxs[0], 5, 10) == 10
+        assert tree.insert_if_absent(ctxs[1], 5, 20) == 10
+
+    def test_update_cas(self, rig, tree):
+        _, ctxs, _ = rig
+        tree.insert(ctxs[0], 9, 1)
+        assert tree.update(ctxs[1], 9, 1, 2)
+        assert not tree.update(ctxs[2], 9, 1, 3)
+        assert tree.lookup(ctxs[3], 9) == 2
+
+    def test_zero_value_rejected(self, rig, tree):
+        _, ctxs, _ = rig
+        with pytest.raises(Exception):
+            tree.insert(ctxs[0], 1, 0)
+
+    def test_key_range_enforced(self, rig, tree):
+        _, ctxs, _ = rig
+        with pytest.raises(Exception):
+            tree.insert(ctxs[0], 1 << 60, 1)
+
+    def test_items_enumerates_all(self, rig, tree):
+        _, ctxs, _ = rig
+        inserted = {(k * 7919) & 0xFFFF_FFFF: k + 1 for k in range(20)}
+        for key, value in inserted.items():
+            tree.insert(ctxs[0], key, value)
+        assert dict(tree.items(ctxs[1])) == inserted
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pairs=st.dictionaries(
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+        st.integers(min_value=1, max_value=2**63),
+        max_size=30,
+    )
+)
+def test_radix_tree_matches_model_dict(pairs):
+    machine = RackMachine(RackConfig(n_nodes=2, global_mem_size=1 << 25))
+    c0, c1 = machine.context(0), machine.context(1)
+    arena = Arena(machine.global_base, machine.global_size)
+    heap = SharedHeap(arena.take(1 << 24), 1 << 24).format(c0)
+    tree = SharedRadixTree(arena.take(8, align=8), heap).format(c0)
+    for key, value in pairs.items():
+        tree.insert(c0, key, value)
+    for key, value in pairs.items():
+        assert tree.lookup(c1, key) == value
+    assert dict(tree.items(c1)) == pairs

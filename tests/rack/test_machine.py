@@ -1,0 +1,219 @@
+"""Integration tests for the rack machine: incoherence, atomics, latency."""
+
+import pytest
+
+from repro.rack import (
+    NodeCrashedError,
+    ProtectionError,
+    RackConfig,
+    RackMachine,
+    UncorrectableMemoryError,
+)
+
+
+class TestIncoherence:
+    """The substrate must reproduce the paper's hardware contract (§2.1)."""
+
+    def test_remote_store_invisible_without_flush(self, machine):
+        g = machine.global_base
+        machine.store(0, g, b"secret")
+        assert machine.load(1, g, 6) == bytes(6)
+
+    def test_remote_store_invisible_after_flush_if_reader_cached_stale(self, machine):
+        g = machine.global_base
+        machine.load(1, g, 6)  # node 1 caches the zero line
+        machine.store(0, g, b"secret")
+        machine.flush(0, g, 6)
+        assert machine.load(1, g, 6) == bytes(6)  # still stale!
+
+    def test_visible_after_flush_and_invalidate(self, machine):
+        g = machine.global_base
+        machine.load(1, g, 6)
+        machine.store(0, g, b"secret")
+        machine.flush(0, g, 6)
+        machine.invalidate(1, g, 6)
+        assert machine.load(1, g, 6) == b"secret"
+
+    def test_bypass_store_visible_to_fresh_reader(self, machine):
+        g = machine.global_base
+        machine.store(0, g, b"direct", bypass_cache=True)
+        assert machine.load(1, g, 6) == b"direct"
+
+    def test_own_writes_always_visible(self, machine):
+        g = machine.global_base
+        machine.store(0, g + 128, b"mine")
+        assert machine.load(0, g + 128, 4) == b"mine"
+
+
+class TestProtection:
+    def test_cannot_touch_other_nodes_local_memory(self, machine):
+        other_local = machine.local_base(1)
+        with pytest.raises(ProtectionError):
+            machine.load(0, other_local, 8)
+        with pytest.raises(ProtectionError):
+            machine.store(0, other_local, b"x")
+
+    def test_own_local_memory_is_fine(self, machine):
+        base = machine.local_base(1)
+        machine.store(1, base, b"local")
+        assert machine.load(1, base, 5) == b"local"
+
+    def test_atomic_on_remote_local_memory_rejected(self, machine):
+        with pytest.raises(ProtectionError):
+            machine.atomic_fetch_add(0, machine.local_base(1), 1)
+
+
+class TestAtomics:
+    def test_cas_success_and_failure(self, machine):
+        g = machine.global_base
+        ok, old = machine.atomic_cas(0, g, 0, 7)
+        assert ok and old == 0
+        ok, old = machine.atomic_cas(1, g, 0, 9)
+        assert not ok and old == 7
+
+    def test_fetch_add_accumulates_across_nodes(self, machine):
+        g = machine.global_base + 64
+        for node in (0, 1, 0, 1):
+            machine.atomic_fetch_add(node, g, 5)
+        assert machine.atomic_load(0, g) == 20
+
+    def test_fetch_add_wraps_at_width(self, machine):
+        g = machine.global_base
+        machine.atomic_store(0, g, 0xFF, width=1)
+        old = machine.atomic_fetch_add(0, g, 1, width=1)
+        assert old == 0xFF
+        assert machine.atomic_load(0, g, width=1) == 0
+
+    def test_swap_returns_old(self, machine):
+        g = machine.global_base
+        machine.atomic_store(0, g, 11)
+        assert machine.atomic_swap(1, g, 22) == 11
+        assert machine.atomic_load(0, g) == 22
+
+    def test_atomic_invalidates_cached_copy(self, machine):
+        g = machine.global_base
+        machine.load(0, g, 8)  # cache the zero line
+        machine.atomic_store(1, g, 0xAB)
+        machine.atomic_fetch_add(0, g, 0)  # atomic from node 0 invalidates its line
+        assert machine.load(0, g, 1) == b"\xab"
+
+    def test_misaligned_atomic_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.atomic_load(0, machine.global_base + 3)
+
+    def test_bad_width_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.atomic_load(0, machine.global_base, width=3)
+
+
+class TestLatency:
+    def test_global_access_slower_than_local(self):
+        m = RackMachine(RackConfig(n_nodes=2))
+        local = m.local_base(0)
+        g = m.global_base
+        m.load(0, local, 8)
+        local_cost = m.now(0)
+        m2 = RackMachine(RackConfig(n_nodes=2))
+        m2.load(0, g, 8)
+        assert m2.now(0) > local_cost
+
+    def test_cache_hit_cheaper_than_miss(self, machine):
+        g = machine.global_base
+        machine.load(0, g, 8)
+        miss_cost = machine.now(0)
+        machine.load(0, g, 8)
+        hit_cost = machine.now(0) - miss_cost
+        assert hit_cost < miss_cost / 10
+
+    def test_switched_topology_charges_more(self):
+        direct = RackMachine(RackConfig(n_nodes=2, topology="dual_direct"))
+        switched = RackMachine(RackConfig(n_nodes=2, topology="single_switch"))
+        direct.load(0, direct.global_base, 8)
+        switched.load(0, switched.global_base, 8)
+        assert switched.now(0) > direct.now(0)
+
+    def test_bulk_transfer_is_pipelined(self, machine):
+        g = machine.global_base
+        machine.load(0, g, 64)
+        one_line = machine.now(0)
+        machine.invalidate(0, g, 4096)
+        before = machine.now(0)
+        machine.load(0, g, 4096)
+        bulk = machine.now(0) - before
+        assert bulk < 64 * one_line  # far cheaper than 64 independent misses
+
+    def test_advance_charges_software_time(self, machine):
+        machine.advance(0, 1000)
+        assert machine.now(0) == pytest.approx(1000)
+
+    def test_clocks_are_per_node(self, machine):
+        machine.advance(0, 500)
+        assert machine.now(1) == 0
+
+
+class TestFaultsAndCrashes:
+    def test_crashed_node_rejects_operations(self, machine):
+        machine.crash_node(0)
+        with pytest.raises(NodeCrashedError):
+            machine.load(0, machine.global_base, 8)
+
+    def test_crash_loses_unflushed_writes(self, machine):
+        g = machine.global_base
+        machine.store(0, g, b"doomed")
+        machine.crash_node(0)
+        assert machine.load(1, g, 6) == bytes(6)
+        machine.restart_node(0)
+        assert machine.load(0, g, 6) == bytes(6)
+
+    def test_restart_syncs_clock_forward(self, machine):
+        machine.advance(1, 9999)
+        machine.crash_node(0)
+        machine.restart_node(0)
+        assert machine.now(0) >= 9999
+
+    def test_poisoned_memory_raises_on_read(self, machine):
+        g = machine.global_base
+        machine.faults.inject_ue(machine.global_mem, 0, rack_addr=g)
+        with pytest.raises(UncorrectableMemoryError):
+            machine.load(0, g, 8)
+
+    def test_bypass_write_repairs_poison(self, machine):
+        g = machine.global_base
+        machine.faults.inject_ue(machine.global_mem, 0, rack_addr=g, size=64)
+        machine.store(0, g, b"\x00" * 64, bypass_cache=True)
+        assert machine.load(0, g, 8, bypass_cache=True) == bytes(8)
+
+    def test_severed_link_blocks_global_access(self, machine):
+        from repro.rack import InterconnectError
+
+        machine.sever_node_link(0)
+        machine.invalidate(0, machine.global_base, 64)
+        with pytest.raises(InterconnectError):
+            machine.load(0, machine.global_base, 8)
+        # node 1 unaffected
+        machine.load(1, machine.global_base, 8)
+
+    def test_fault_log_records_crash(self, machine):
+        from repro.rack import FaultKind
+
+        machine.crash_node(1)
+        events = machine.faults.log.events(FaultKind.NODE_CRASH)
+        assert len(events) == 1 and events[0].node_id == 1
+
+
+class TestConfigValidation:
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            RackConfig(cache_line_size=48)
+
+    def test_needs_a_node(self):
+        with pytest.raises(ValueError):
+            RackConfig(n_nodes=0)
+
+    def test_unknown_node_rejected(self, machine):
+        with pytest.raises(KeyError):
+            machine.context(99)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(KeyError):
+            RackMachine(RackConfig(topology="nope"))

@@ -1,0 +1,108 @@
+"""Unit tests for backing memory devices and the rack address map."""
+
+import pytest
+
+from repro.rack import (
+    GLOBAL_BASE,
+    LOCAL_STRIDE,
+    MemoryKind,
+    OutOfRangeError,
+    PhysicalMemory,
+    Region,
+)
+from repro.rack.memory import AddressMap, build_address_map
+
+
+class TestPhysicalMemory:
+    def test_read_back_what_was_written(self):
+        mem = PhysicalMemory(1024, MemoryKind.LOCAL_DRAM)
+        mem.write(100, b"abc")
+        assert mem.read(100, 3) == b"abc"
+
+    def test_initial_contents_are_zero(self):
+        mem = PhysicalMemory(64, MemoryKind.GLOBAL)
+        assert mem.read(0, 64) == bytes(64)
+
+    def test_out_of_range_read_raises(self):
+        mem = PhysicalMemory(64, MemoryKind.GLOBAL)
+        with pytest.raises(OutOfRangeError):
+            mem.read(60, 8)
+
+    def test_out_of_range_write_raises(self):
+        mem = PhysicalMemory(64, MemoryKind.GLOBAL)
+        with pytest.raises(OutOfRangeError):
+            mem.write(63, b"ab")
+
+    def test_negative_offset_raises(self):
+        mem = PhysicalMemory(64, MemoryKind.GLOBAL)
+        with pytest.raises(OutOfRangeError):
+            mem.read(-1, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0, MemoryKind.GLOBAL)
+
+    def test_flip_bit_corrupts_exactly_one_bit(self):
+        mem = PhysicalMemory(8, MemoryKind.GLOBAL)
+        mem.write(0, b"\x00")
+        mem.flip_bit(0, 3)
+        assert mem.read(0, 1) == b"\x08"
+        mem.flip_bit(0, 3)
+        assert mem.read(0, 1) == b"\x00"
+
+    def test_poison_tracking(self):
+        mem = PhysicalMemory(128, MemoryKind.GLOBAL)
+        mem.poison(10, 4)
+        assert mem.is_poisoned(8, 8)
+        assert not mem.is_poisoned(0, 10)
+        mem.clear_poison(10, 4)
+        assert not mem.is_poisoned(8, 8)
+
+
+class TestAddressMap:
+    def _map(self):
+        locals_ = {
+            0: PhysicalMemory(4096, MemoryKind.LOCAL_DRAM, "l0"),
+            1: PhysicalMemory(4096, MemoryKind.LOCAL_DRAM, "l1"),
+        }
+        gmem = PhysicalMemory(8192, MemoryKind.GLOBAL)
+        return build_address_map(locals_, gmem), locals_, gmem
+
+    def test_local_regions_at_strides(self):
+        amap, locals_, _ = self._map()
+        region, off = amap.resolve(0)
+        assert region.owner == 0 and off == 0
+        region, off = amap.resolve(LOCAL_STRIDE + 100)
+        assert region.owner == 1 and off == 100
+        assert region.device is locals_[1]
+
+    def test_global_region_at_global_base(self):
+        amap, _, gmem = self._map()
+        region, off = amap.resolve(GLOBAL_BASE + 8000, 100)
+        assert region.is_global and off == 8000
+        assert region.device is gmem
+
+    def test_unmapped_address_raises(self):
+        amap, _, _ = self._map()
+        with pytest.raises(OutOfRangeError):
+            amap.resolve(4096)  # past node 0's local memory
+        with pytest.raises(OutOfRangeError):
+            amap.resolve(GLOBAL_BASE + 8192)
+
+    def test_access_must_fit_in_one_region(self):
+        amap, _, _ = self._map()
+        with pytest.raises(OutOfRangeError):
+            amap.resolve(4090, 16)
+
+    def test_overlapping_regions_rejected(self):
+        amap = AddressMap()
+        dev = PhysicalMemory(100, MemoryKind.GLOBAL)
+        amap.add_region(Region(base=0, size=100, device=dev, owner=None))
+        with pytest.raises(ValueError):
+            amap.add_region(Region(base=50, size=100, device=dev, owner=None))
+
+    def test_local_memory_larger_than_stride_rejected(self):
+        dev = PhysicalMemory(64, MemoryKind.LOCAL_DRAM)
+        dev.size = LOCAL_STRIDE + 64  # pretend, without allocating 64 GiB
+        with pytest.raises(ValueError):
+            build_address_map({0: dev}, PhysicalMemory(64, MemoryKind.GLOBAL))
