@@ -1,0 +1,279 @@
+"""Substrate microbenchmark — raw throughput of the rack data plane.
+
+Every layer of the reproduction funnels through
+:meth:`repro.rack.RackMachine.load` / :meth:`~repro.rack.RackMachine.store`
+/ the atomics, so the *Python* cost of those calls bounds how fast
+everything above them can run.  This bench measures that cost directly:
+ops/sec and wall-clock ns/op for the canonical access shapes
+(cached single-line load/store, bypass bulk transfers, atomics, flush,
+and a 90/10 mixed workload), plus the *simulated* nanoseconds each
+workload charged — which the data-plane fast path must keep bit-identical.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_substrate.py            # full run
+    PYTHONPATH=src python benchmarks/bench_substrate.py --smoke    # <5 s sanity run
+
+A full run writes ``BENCH_substrate.json`` at the repo root (override with
+``--json``); smoke runs only write when ``--json`` is given explicitly.
+The JSON carries a recorded pre-optimization baseline (``baseline``) so
+later PRs have a perf trajectory to regress against; ``speedup_vs_baseline``
+is ops/sec relative to that seed measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+if __name__ == "__main__" and __package__ is None:  # allow running from a checkout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.rack import RackConfig, RackMachine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_substrate.json"
+
+SCHEMA_VERSION = 1
+
+#: Pre-optimization throughput, measured at the seed commit (PR 1, before the
+#: data-plane fast path landed) with the *same* workload bodies and full-run
+#: op counts on the reference container.  Absolute numbers are machine
+#: dependent; the ratio after/before on one machine is what matters.
+BASELINE_OPS_PER_SEC: Dict[str, float] = {
+    "cached_load_hot": 320181.4,
+    "cached_store_hot": 303571.6,
+    "cached_load_miss": 112859.1,
+    "bypass_load_4k": 181695.2,
+    "bypass_store_4k": 9907.1,
+    "atomic_fetch_add": 193410.2,
+    "flush_line": 87567.7,
+    "mixed_90_10": 307905.8,
+}
+
+
+def _bench(name: str, ops: int, setup: Callable[[], Callable[[int], None]],
+           machine_holder: list, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` timing of ``ops`` iterations of ``setup()``'s body.
+
+    Each repeat rebuilds the machine from scratch (``setup`` appends it to
+    ``machine_holder``), so the simulated time charged is deterministic and
+    identical across repeats; the best wall time damps scheduler noise.
+    """
+    best_wall = float("inf")
+    sim_charged = 0.0
+    for _ in range(repeats):
+        body = setup()
+        machine = machine_holder[-1]
+        sim_before = machine.max_time()
+        t0 = time.perf_counter()
+        for i in range(ops):
+            body(i)
+        wall = time.perf_counter() - t0
+        sim_charged = machine.max_time() - sim_before
+        best_wall = min(best_wall, wall)
+    wall = best_wall
+    return {
+        "ops": ops,
+        "wall_s": round(wall, 6),
+        "ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
+        "ns_per_op": round(wall * 1e9 / ops, 1) if ops else 0.0,
+        "sim_ns_charged": round(sim_charged, 3),
+    }
+
+
+def run(smoke: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run every workload; returns {workload: metrics}."""
+    scale = 1 if not smoke else 20  # smoke = 1/20th the ops, <5 s total
+    repeats = 3 if not smoke else 1
+    results: Dict[str, Dict[str, float]] = {}
+    holder: list = []
+
+    line = 64
+    hot_lines = 256  # fits comfortably in the 4096-line cache
+
+    def _bench_s(name, ops, setup):
+        return _bench(name, ops, setup, holder, repeats=repeats)
+
+    def fresh(**kw) -> RackMachine:
+        if smoke:  # small devices: machine build is dominated by zeroing
+            kw.setdefault("global_mem_size", 1 << 22)
+            kw.setdefault("local_mem_size", 1 << 20)
+        m = RackMachine(RackConfig(n_nodes=2, **kw))
+        holder.append(m)
+        return m
+
+    # -- cached single-line load, hot set (the fast-path target) -----------
+    def setup_load_hot():
+        m = fresh()
+        g = m.global_base
+        for i in range(hot_lines):  # warm the cache
+            m.load(0, g + i * line, 8)
+        mask = hot_lines - 1
+        return lambda i: m.load(0, g + (i & mask) * line, 8)
+
+    results["cached_load_hot"] = _bench_s("cached_load_hot", 200_000 // scale, setup_load_hot)
+
+    # -- cached single-line store, hot set ---------------------------------
+    def setup_store_hot():
+        m = fresh()
+        g = m.global_base
+        for i in range(hot_lines):
+            m.load(0, g + i * line, 8)
+        mask = hot_lines - 1
+        payload = b"\xa5" * 8
+        return lambda i: m.store(0, g + (i & mask) * line, payload)
+
+    results["cached_store_hot"] = _bench_s("cached_store_hot", 200_000 // scale, setup_store_hot)
+
+    # -- cached load with misses + evictions (streaming) -------------------
+    def setup_load_miss():
+        m = fresh()
+        g = m.global_base
+        n_lines = m.global_size // line
+        return lambda i: m.load(0, g + (i % n_lines) * line, line)
+
+    results["cached_load_miss"] = _bench_s("cached_load_miss", 40_000 // scale, setup_load_miss)
+
+    # -- bypass (non-temporal) bulk transfers ------------------------------
+    def setup_bypass_load():
+        m = fresh()
+        g = m.global_base
+        n_slots = m.global_size // 4096
+        return lambda i: m.load(0, g + (i % n_slots) * 4096, 4096, bypass_cache=True)
+
+    results["bypass_load_4k"] = _bench_s("bypass_load_4k", 40_000 // scale, setup_bypass_load)
+
+    def setup_bypass_store():
+        m = fresh()
+        g = m.global_base
+        n_slots = m.global_size // 4096
+        payload = b"\x5a" * 4096
+        return lambda i: m.store(0, g + (i % n_slots) * 4096, payload, bypass_cache=True)
+
+    results["bypass_store_4k"] = _bench_s("bypass_store_4k", 40_000 // scale, setup_bypass_store)
+
+    # -- rack-serialised atomics -------------------------------------------
+    def setup_atomics():
+        m = fresh()
+        g = m.global_base
+        return lambda i: m.atomic_fetch_add(0, g, 1)
+
+    results["atomic_fetch_add"] = _bench_s("atomic_fetch_add", 60_000 // scale, setup_atomics)
+
+    # -- store + flush round trip ------------------------------------------
+    def setup_flush():
+        m = fresh()
+        g = m.global_base
+        payload = b"\x3c" * 8
+        mask = hot_lines - 1
+
+        def body(i):
+            addr = g + (i & mask) * line
+            m.store(0, addr, payload)
+            m.flush(0, addr, 8)
+
+        return body
+
+    results["flush_line"] = _bench_s("flush_line", 40_000 // scale, setup_flush)
+
+    # -- 90/10 read/write mix over a hot set -------------------------------
+    def setup_mixed():
+        m = fresh()
+        g = m.global_base
+        for i in range(hot_lines):
+            m.load(0, g + i * line, 8)
+        mask = hot_lines - 1
+        payload = b"\x7e" * 8
+
+        def body(i):
+            addr = g + (i & mask) * line
+            if i % 10 == 9:
+                m.store(0, addr, payload)
+            else:
+                m.load(0, addr, 8)
+
+        return body
+
+    results["mixed_90_10"] = _bench_s("mixed_90_10", 200_000 // scale, setup_mixed)
+
+    return results
+
+
+def render(results: Dict[str, Dict[str, float]],
+           baseline: Optional[Dict[str, float]] = None) -> str:
+    rows = [f"{'workload':<20} {'ops':>8} {'ops/sec':>12} {'ns/op':>10} "
+            f"{'sim ns charged':>16} {'vs baseline':>12}"]
+    for name, m in results.items():
+        base = (baseline or {}).get(name) or 0.0
+        speedup = f"{m['ops_per_sec'] / base:.2f}x" if base else "-"
+        rows.append(
+            f"{name:<20} {m['ops']:>8} {m['ops_per_sec']:>12,.0f} "
+            f"{m['ns_per_op']:>10,.1f} {m['sim_ns_charged']:>16,.0f} {speedup:>12}"
+        )
+    return "\n".join(rows)
+
+
+def build_report(results: Dict[str, Dict[str, float]], mode: str) -> dict:
+    baseline = {k: v for k, v in BASELINE_OPS_PER_SEC.items() if v}
+    speedup = {
+        name: round(m["ops_per_sec"] / baseline[name], 2)
+        for name, m in results.items()
+        if baseline.get(name)
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "substrate",
+        "mode": mode,
+        "workloads": results,
+        "baseline_ops_per_sec": baseline,
+        "speedup_vs_baseline": speedup,
+        "note": (
+            "baseline_ops_per_sec was recorded at the seed commit (pre fast-path) "
+            "with identical workload bodies; compare ratios, not absolute rates, "
+            "across machines.  sim_ns_charged must be invariant across data-plane "
+            "optimizations (see tests/rack/test_golden_latency.py)."
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny op counts (<5 s); for CI sanity, not measurement")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help=f"output path (default {DEFAULT_JSON.name} at repo root; "
+                         "smoke runs skip writing unless set)")
+    ap.add_argument("--record-baseline", action="store_true",
+                    help="print the measured ops/sec as a BASELINE_OPS_PER_SEC "
+                         "dict literal (used once, at the pre-optimization commit)")
+    args = ap.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    results = run(smoke=args.smoke)
+
+    if args.record_baseline:
+        print("BASELINE_OPS_PER_SEC = {")
+        for name, m in results.items():
+            print(f'    "{name}": {m["ops_per_sec"]:.1f},')
+        print("}")
+        return 0
+
+    report = build_report(results, mode)
+    print(render(results, report["baseline_ops_per_sec"]))
+
+    out = args.json
+    if out is None and not args.smoke:
+        out = DEFAULT_JSON
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

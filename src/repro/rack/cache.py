@@ -81,8 +81,28 @@ class NodeCache:
 
     def load(self, addr: int, size: int) -> Tuple[bytes, int, int]:
         """Read through the cache.  Returns ``(data, hits, misses)``."""
-        out = bytearray()
+        if size <= 0:
+            return b"", 0, 0
+        line_size = self.line_size
+        base = addr & ~(line_size - 1)
+        if addr + size <= base + line_size:
+            # fast path: the overwhelmingly common single-line access —
+            # one dict probe, one move_to_end, one slice.
+            lines = self._lines
+            line = lines.get(base)
+            lo = addr - base
+            if line is not None:
+                lines.move_to_end(base)
+                self.stats.hits += 1
+                return bytes(line.data[lo : lo + size]), 1, 0
+            line = _Line(bytearray(self._read_backing(base, line_size)))
+            self._insert(base, line)
+            self.stats.misses += 1
+            return bytes(line.data[lo : lo + size]), 0, 1
+        out = bytearray(size)
+        out_view = memoryview(out)
         hits = misses = 0
+        pos = 0
         for base in self.lines_spanning(addr, size):
             line, was_hit = self._get_line(base, fill_on_miss=True)
             if was_hit:
@@ -90,8 +110,9 @@ class NodeCache:
             else:
                 misses += 1
             lo = max(addr, base) - base
-            hi = min(addr + size, base + self.line_size) - base
-            out += line.data[lo:hi]
+            hi = min(addr + size, base + line_size) - base
+            out_view[pos : pos + (hi - lo)] = memoryview(line.data)[lo:hi]
+            pos += hi - lo
         self.stats.hits += hits
         self.stats.misses += misses
         return bytes(out), hits, misses
@@ -105,24 +126,51 @@ class NodeCache:
         for bulk writes, and the reason streaming writes to global memory
         are not charged a read round trip.
         """
+        size = len(data)
+        if size <= 0:
+            return 0, 0, 0
+        line_size = self.line_size
+        base = addr & ~(line_size - 1)
+        if addr + size <= base + line_size:
+            # fast path: single-line store (hit, full-line allocate, or
+            # partial-line fetch) without the generator machinery.
+            lines = self._lines
+            line = lines.get(base)
+            lo = addr - base
+            if line is not None:
+                lines.move_to_end(base)
+                line.data[lo : lo + size] = data
+                line.dirty = True
+                self.stats.hits += 1
+                return 1, 0, 0
+            if size == line_size:  # lo == 0 implied by the span check
+                self._insert(base, _Line(bytearray(data), dirty=True))
+                self.stats.hits += 1  # allocs are charged like hits
+                return 0, 0, 1
+            line = _Line(bytearray(self._read_backing(base, line_size)))
+            self._insert(base, line)
+            line.data[lo : lo + size] = data
+            line.dirty = True
+            self.stats.misses += 1
+            return 0, 1, 0
         hits = misses = allocs = 0
         pos = 0
-        size = len(data)
+        src = memoryview(data)
         for base in self.lines_spanning(addr, size):
             lo = max(addr, base) - base
-            hi = min(addr + size, base + self.line_size) - base
-            full_line = lo == 0 and hi == self.line_size
+            hi = min(addr + size, base + line_size) - base
+            full_line = lo == 0 and hi == line_size
             if full_line and base not in self._lines:
-                self._insert(base, _Line(bytearray(self.line_size), dirty=True))
-                line = self._lines[base]
+                self._insert(base, _Line(bytearray(src[pos : pos + line_size]), dirty=True))
                 allocs += 1
+                pos += line_size
+                continue
+            line, was_hit = self._get_line(base, fill_on_miss=True)
+            if was_hit:
+                hits += 1
             else:
-                line, was_hit = self._get_line(base, fill_on_miss=True)
-                if was_hit:
-                    hits += 1
-                else:
-                    misses += 1
-            line.data[lo:hi] = data[pos : pos + (hi - lo)]
+                misses += 1
+            line.data[lo:hi] = src[pos : pos + (hi - lo)]
             line.dirty = True
             pos += hi - lo
         self.stats.hits += hits + allocs

@@ -86,8 +86,37 @@ class FaultInjector:
         self.rng = random.Random(seed)
         self.log = FaultLog()
         self.enabled = True
+        # Memo of scaled (ce, ue) per (is_global, path_cost): the model is
+        # static after construction, so the per-hop exponentiation only
+        # runs once per distinct path.  Call :meth:`model_changed` if a
+        # test mutates the model in place.
+        self._rate_cache: dict = {}
+
+    def model_changed(self) -> None:
+        """Drop memoized rates after an in-place :class:`FaultModel` edit."""
+        self._rate_cache.clear()
+
+    def is_noop(self, is_global: bool) -> bool:
+        """True when no fault can fire for this region kind.
+
+        Zero base rates stay zero under any per-hop scaling, so the flag
+        is independent of path cost.  Reads the live model fields — no
+        invalidation needed — and lets the machine skip the per-access
+        call entirely without touching the seeded RNG stream (zero rates
+        never consumed randomness in the first place).
+        """
+        if not self.enabled:
+            return True
+        m = self.model
+        if is_global:
+            return m.global_ce_rate <= 0 and m.global_ue_rate <= 0
+        return m.local_ce_rate <= 0 and m.local_ue_rate <= 0
 
     def _rates(self, region: Region, path_cost: int) -> tuple:
+        key = (region.owner is None, path_cost)
+        cached = self._rate_cache.get(key)
+        if cached is not None:
+            return cached
         if region.is_global:
             ce, ue = self.model.global_ce_rate, self.model.global_ue_rate
         else:
@@ -96,6 +125,7 @@ class FaultInjector:
             scale = self.model.per_hop_multiplier**path_cost
             ce *= scale
             ue *= scale
+        self._rate_cache[key] = (ce, ue)
         return ce, ue
 
     def on_access(

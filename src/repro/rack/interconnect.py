@@ -45,6 +45,14 @@ class Interconnect:
     def __init__(self, graph: Optional[nx.Graph] = None) -> None:
         self.graph = graph if graph is not None else nx.Graph()
         self._path_cache: Dict[str, PathCost] = {}
+        #: Bumped whenever topology or link health changes; holders of
+        #: path-derived memos (the machine's charge tables) compare-and-drop.
+        self.generation = 0
+        self._down_links: set = set()
+        if graph is not None:
+            for u, v, attrs in graph.edges(data=True):
+                if not attrs.get("up", True):
+                    self._down_links.add(frozenset((u, v)))
 
     # -- construction --------------------------------------------------------
 
@@ -59,7 +67,9 @@ class Interconnect:
 
     def link(self, u: str, v: str) -> None:
         self.graph.add_edge(u, v, up=True)
+        self._down_links.discard(frozenset((u, v)))
         self._path_cache.clear()
+        self.generation += 1
 
     # -- health ---------------------------------------------------------------
 
@@ -67,7 +77,12 @@ class Interconnect:
         if not self.graph.has_edge(u, v):
             raise KeyError(f"no link {u} <-> {v}")
         self.graph.edges[u, v]["up"] = up
+        if up:
+            self._down_links.discard(frozenset((u, v)))
+        else:
+            self._down_links.add(frozenset((u, v)))
         self._path_cache.clear()
+        self.generation += 1
 
     def link_is_up(self, u: str, v: str) -> bool:
         return bool(self.graph.edges[u, v].get("up", True))
@@ -88,7 +103,9 @@ class Interconnect:
         cached = self._path_cache.get(src)
         if cached is not None:
             return cached
-        live = self._live_subgraph()
+        # with every link up (the common case) the live subgraph IS the
+        # main graph — skip the rebuild and query it directly
+        live = self.graph if not self._down_links else self._live_subgraph()
         if src not in live or GMEM_VERTEX not in live:
             raise InterconnectError(f"{src} or gmem not in fabric")
         try:

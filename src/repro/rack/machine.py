@@ -68,6 +68,19 @@ class RackMachine:
         self.faults = FaultInjector(cfg.faults, seed=cfg.seed)
         self.latency = cfg.latency
         self.line_size = cfg.cache_line_size
+        # -- data-plane fast path state (see DESIGN.md) --------------------
+        # Hoisted constants: the line mask and hit charge never change for
+        # a built machine (LatencyModel is fixed at construction).
+        self._line_mask = cfg.cache_line_size - 1
+        self._hit_ns = cfg.latency.cache_hit_ns
+        # Software TLB: per-node memo of the last region resolved, dropped
+        # when the address map's generation moves.
+        self._tlb: Dict[int, Tuple[int, int, Region]] = {}
+        self._tlb_gen = self.address_map.generation
+        # Charge table: (first_line_ns, rest_line_ns) per (node, region),
+        # dropped when the fabric's generation moves (link/topology change).
+        self._charge_memo: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self._charge_gen = self.fabric.generation
 
     # -- address helpers -------------------------------------------------------
 
@@ -110,6 +123,26 @@ class RackMachine:
 
     def load(self, node_id: int, addr: int, size: int, *, bypass_cache: bool = False) -> bytes:
         """Read ``size`` bytes at physical ``addr`` through the node's cache."""
+        if not bypass_cache and 0 < size:
+            # fast path: single-line cache hit.  A resident line proves the
+            # address resolved and passed protection when it was filled, so
+            # no resolve, no fault roll, and a hits-only charge — identical
+            # observables to the general path, an order less Python.
+            node = self.nodes.get(node_id)
+            if node is not None and node.alive:
+                mask = self._line_mask
+                base = addr & ~mask
+                if addr + size <= base + mask + 1:
+                    cache = node.cache
+                    lines = cache._lines
+                    line = lines.get(base)
+                    if line is not None:
+                        lines.move_to_end(base)
+                        cache.stats.hits += 1
+                        # == _charge_cached(node, region, hits=1, misses=0)
+                        node.clock._now_ns += self._hit_ns
+                        lo = addr - base
+                        return bytes(line.data[lo : lo + size])
         node, region, offset = self._access(node_id, addr, size)
         if bypass_cache:
             self._charge_bulk(node, region, size, write=False)
@@ -130,7 +163,27 @@ class RackMachine:
         that go straight to the device (still leaving any stale cached
         copy in place — callers must invalidate if they mix modes).
         """
-        node, region, offset = self._access(node_id, addr, len(data))
+        size = len(data)
+        if not bypass_cache and 0 < size:
+            # fast path: single-line cache hit (see load)
+            node = self.nodes.get(node_id)
+            if node is not None and node.alive:
+                mask = self._line_mask
+                base = addr & ~mask
+                if addr + size <= base + mask + 1:
+                    cache = node.cache
+                    lines = cache._lines
+                    line = lines.get(base)
+                    if line is not None:
+                        lines.move_to_end(base)
+                        lo = addr - base
+                        line.data[lo : lo + size] = data
+                        line.dirty = True
+                        cache.stats.hits += 1
+                        # == _charge_cached(node, region, hits=1, misses=0)
+                        node.clock._now_ns += self._hit_ns
+                        return
+        node, region, offset = self._access(node_id, addr, size)
         if bypass_cache:
             self._charge_bulk(node, region, len(data), write=True)
             self._maybe_fault(region, offset, len(data), node_id)
@@ -283,12 +336,33 @@ class RackMachine:
     def _access(self, node_id: int, addr: int, size: int) -> Tuple[Node, Region, int]:
         node = self._node(node_id)
         node.check_alive()
-        region, offset = self.address_map.resolve(addr, max(size, 1))
-        if not region.is_global and region.owner != node_id:
+        region, offset = self._resolve_fast(node_id, addr, size if size > 0 else 1)
+        return node, region, offset
+
+    def _resolve_fast(self, node_id: int, addr: int, size: int) -> Tuple[Region, int]:
+        """Software TLB in front of :meth:`AddressMap.resolve`.
+
+        Memoizes the last region each node touched; only regions the node
+        may legally access are ever memoized, so a memo hit needs no
+        protection re-check.  The memo drops when the address map changes.
+        """
+        tlb = self._tlb
+        amap = self.address_map
+        if amap.generation != self._tlb_gen:
+            tlb.clear()
+            self._tlb_gen = amap.generation
+        entry = tlb.get(node_id)
+        if entry is not None:
+            base, end, region = entry
+            if base <= addr and addr + size <= end:
+                return region, addr - base
+        region, offset = amap.resolve(addr, size)
+        if region.owner is not None and region.owner != node_id:
             raise ProtectionError(
                 f"node {node_id} cannot access node {region.owner}'s local memory at {addr:#x}"
             )
-        return node, region, offset
+        tlb[node_id] = (region.base, region.base + region.size, region)
+        return region, offset
 
     def _atomic_prologue(self, node_id: int, addr: int, width: int):
         if width not in _INT_FMT:
@@ -324,29 +398,56 @@ class RackMachine:
             return self.line_size / self.latency.pmem_bw_bytes_per_ns
         return self.latency.pipelined_line_ns(self.line_size, is_global=region.is_global)
 
+    def _line_pair_ns(self, node: Node, region: Region) -> Tuple[float, float]:
+        """Memoized ``(first_line_ns, rest_line_ns)`` for one (node, region).
+
+        Both values depend only on the latency model, the region's kind,
+        and the node's fabric path, so they are computed once and reused
+        until the fabric's generation moves (link or topology change).
+        """
+        if self.fabric.generation != self._charge_gen:
+            self._charge_memo.clear()
+            self._charge_gen = self.fabric.generation
+        key = (node.node_id, region.base)
+        pair = self._charge_memo.get(key)
+        if pair is None:
+            pair = (self._first_line_ns(node, region), self._rest_line_ns(region))
+            self._charge_memo[key] = pair
+        return pair
+
     def _charge_cached(self, node: Node, region: Region, hits: int, misses: int) -> None:
         lat = self.latency
         ns = hits * lat.cache_hit_ns
         if misses:
-            ns += self._first_line_ns(node, region)
-            ns += (misses - 1) * self._rest_line_ns(region)
+            first, rest = self._line_pair_ns(node, region)
+            ns += first
+            ns += (misses - 1) * rest
             ns += misses * lat.cache_miss_overhead_ns
         node.clock.advance(ns)
 
     def _charge_bulk(self, node: Node, region: Region, size: int, *, write: bool) -> None:
         n_lines = max(1, (size + self.line_size - 1) // self.line_size)
-        first = self._first_line_ns(node, region)
-        rest = (n_lines - 1) * self._rest_line_ns(region)
-        node.clock.advance(first + rest)
+        first, rest_line = self._line_pair_ns(node, region)
+        ns = first + (n_lines - 1) * rest_line
+        if write:
+            # non-temporal stores pay the device write cost per line,
+            # exactly like a write-back burst
+            ns += n_lines * self.latency.writeback_line_ns
+        node.clock.advance(ns)
 
     def _charge_writeback(self, node: Node, region: Region, lines: int) -> None:
-        first = self._first_line_ns(node, region)
-        rest = (lines - 1) * self._rest_line_ns(region)
+        first, rest_line = self._line_pair_ns(node, region)
+        rest = (lines - 1) * rest_line
         node.clock.advance(first + rest + lines * self.latency.writeback_line_ns)
 
     def _maybe_fault(self, region: Region, offset: int, size: int, node_id: int) -> None:
+        faults = self.faults
+        if faults.is_noop(region.owner is None):
+            # no fault can fire for this region kind: skip the path-cost
+            # lookup and the injector call without touching the RNG stream
+            return
         hops, switches = self._path_cost(node_id, region)
-        self.faults.on_access(
+        faults.on_access(
             region, offset, size, node_id, self.now(node_id), path_cost=hops + switches
         )
 
@@ -356,7 +457,7 @@ class RackMachine:
 
     def _make_backing_reader(self, node_id: int):
         def read_backing(addr: int, size: int) -> bytes:
-            region, offset = self.address_map.resolve(addr, size)
+            region, offset = self._resolve_fast(node_id, addr, size)
             self._maybe_fault(region, offset, size, node_id)
             self._check_poison(region, offset, size, node_id)
             return region.device.read(offset, size)
@@ -365,7 +466,7 @@ class RackMachine:
 
     def _make_backing_writer(self, node_id: int):
         def write_backing(addr: int, data: bytes) -> None:
-            region, offset = self.address_map.resolve(addr, len(data))
+            region, offset = self._resolve_fast(node_id, addr, len(data))
             region.device.clear_poison(offset, len(data))
             region.device.write(offset, data)
 

@@ -11,6 +11,7 @@ where only *global* memory is shared.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
@@ -64,6 +65,11 @@ class PhysicalMemory:
         self.name = name or kind.value
         #: Offsets poisoned by uncorrectable errors; reads of them raise.
         self.poisoned: set = set()
+        # Conservative bounds on the poisoned extent: [_pmin, _pmax] always
+        # covers every poisoned offset (it may over-cover after clears, which
+        # only costs a scan, never a missed poison).
+        self._pmin = size
+        self._pmax = -1
 
     def read(self, offset: int, size: int) -> bytes:
         self._check(offset, size)
@@ -82,14 +88,34 @@ class PhysicalMemory:
         """Mark a range as uncorrectable; accesses raise until cleared."""
         self._check(offset, size)
         self.poisoned.update(range(offset, offset + size))
+        if offset < self._pmin:
+            self._pmin = offset
+        if offset + size - 1 > self._pmax:
+            self._pmax = offset + size - 1
 
     def clear_poison(self, offset: int, size: int = 1) -> None:
-        self.poisoned.difference_update(range(offset, offset + size))
+        poisoned = self.poisoned
+        if not poisoned:
+            return
+        lo = offset if offset > self._pmin else self._pmin
+        hi = min(offset + size, self._pmax + 1)
+        if lo < hi:
+            poisoned.difference_update(range(lo, hi))
 
     def is_poisoned(self, offset: int, size: int) -> bool:
-        if not self.poisoned:
+        poisoned = self.poisoned
+        if not poisoned:
             return False
-        return any(o in self.poisoned for o in range(offset, offset + size))
+        # bound the scan by the poisoned extent, then intersect over the
+        # cheaper side — a large access never pays O(size) for one
+        # poisoned byte somewhere else.
+        lo = offset if offset > self._pmin else self._pmin
+        hi = min(offset + size, self._pmax + 1)
+        if lo >= hi:
+            return False
+        if len(poisoned) < hi - lo:
+            return any(lo <= o < hi for o in poisoned)
+        return not poisoned.isdisjoint(range(lo, hi))
 
     def _check(self, offset: int, size: int) -> None:
         if offset < 0 or size < 0 or offset + size > self.size:
@@ -124,10 +150,18 @@ class Region:
 
 
 class AddressMap:
-    """Maps rack-wide physical addresses to (region, device offset)."""
+    """Maps rack-wide physical addresses to (region, device offset).
+
+    Lookup is a binary search over the sorted region bases.  ``generation``
+    increments whenever the region set changes, so callers holding
+    resolution memos (the machine's software TLB) know when to drop them.
+    """
 
     def __init__(self) -> None:
         self._regions: List[Region] = []
+        self._bases: List[int] = []
+        #: Bumped on every region change; memo holders compare-and-drop.
+        self.generation = 0
 
     def add_region(self, region: Region) -> None:
         for existing in self._regions:
@@ -138,6 +172,8 @@ class AddressMap:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.base)
+        self._bases = [r.base for r in self._regions]
+        self.generation += 1
 
     def resolve(self, addr: int, size: int = 1) -> Tuple[Region, int]:
         """Return the region containing ``[addr, addr+size)`` and its offset.
@@ -145,8 +181,10 @@ class AddressMap:
         Accesses may not straddle region boundaries — the machine splits
         larger accesses into per-line operations which always fit.
         """
-        for region in self._regions:
-            if region.contains(addr, size):
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            region = self._regions[i]
+            if addr + size <= region.base + region.size:
                 return region, addr - region.base
         raise OutOfRangeError(f"physical address {addr:#x} (+{size}) is unmapped")
 

@@ -1,0 +1,84 @@
+"""Tier-1 smoke test for the substrate microbenchmark.
+
+Runs ``benchmarks/bench_substrate.py`` in ``--smoke`` mode (tiny op
+counts, single repeat) and checks two things:
+
+* the report schema has not drifted — later PRs parse
+  ``BENCH_substrate.json`` for the perf trajectory;
+* data-plane throughput has not collapsed — an order-of-magnitude
+  regression in the fast path fails here before it silently taxes every
+  benchmark above the substrate.
+
+The throughput floor is deliberately ~50x below measured fast-path rates
+so scheduler noise and slow CI machines never trip it, while a return to
+generator-per-access behavior (or worse) still does.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_substrate  # noqa: E402
+
+
+EXPECTED_WORKLOADS = {
+    "cached_load_hot",
+    "cached_store_hot",
+    "cached_load_miss",
+    "bypass_load_4k",
+    "bypass_store_4k",
+    "atomic_fetch_add",
+    "flush_line",
+    "mixed_90_10",
+}
+
+METRIC_KEYS = {"ops", "wall_s", "ops_per_sec", "ns_per_op", "sim_ns_charged"}
+
+#: ops/sec floor for the cached single-line fast path (measured ~1M/s).
+MIN_HOT_OPS_PER_SEC = 20_000
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_substrate.json"
+    rc = bench_substrate.main(["--smoke", "--json", str(out)])
+    assert rc == 0
+    return json.loads(out.read_text())
+
+
+def test_smoke_schema(smoke_report):
+    assert smoke_report["schema_version"] == bench_substrate.SCHEMA_VERSION
+    assert smoke_report["bench"] == "substrate"
+    assert smoke_report["mode"] == "smoke"
+    assert set(smoke_report["workloads"]) == EXPECTED_WORKLOADS
+    for name, metrics in smoke_report["workloads"].items():
+        assert set(metrics) == METRIC_KEYS, f"{name} metric drift"
+        assert metrics["ops"] > 0
+        assert metrics["ops_per_sec"] > 0
+        assert metrics["sim_ns_charged"] > 0
+    # the recorded pre-optimization baseline must stay available
+    assert set(smoke_report["baseline_ops_per_sec"]) == EXPECTED_WORKLOADS
+    assert set(smoke_report["speedup_vs_baseline"]) == EXPECTED_WORKLOADS
+
+
+def test_smoke_throughput_floor(smoke_report):
+    for name in ("cached_load_hot", "cached_store_hot", "mixed_90_10"):
+        rate = smoke_report["workloads"][name]["ops_per_sec"]
+        assert rate > MIN_HOT_OPS_PER_SEC, (
+            f"{name} collapsed to {rate:,.0f} ops/s — data-plane fast path broken?"
+        )
+
+
+def test_checked_in_report_fresh():
+    """The repo-root BENCH_substrate.json must parse and show the tentpole
+    ≥3x win on the cached single-line workloads (acceptance criterion)."""
+    report = json.loads((bench_substrate.DEFAULT_JSON).read_text())
+    assert report["schema_version"] == bench_substrate.SCHEMA_VERSION
+    speed = report["speedup_vs_baseline"]
+    assert speed["cached_load_hot"] >= 3.0
+    assert speed["cached_store_hot"] >= 3.0
