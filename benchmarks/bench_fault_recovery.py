@@ -14,6 +14,7 @@ Three measurements:
 import pytest
 
 from repro.bench import Table, build_rig
+from repro.chaos import CampaignRunner, ChaosCampaign, boxes_recovered, event, survivor_liveness
 from repro.core.fault import (
     AdaptiveRedundancyPolicy,
     FaultBoxManager,
@@ -24,6 +25,7 @@ from repro.core.fault import (
 from repro.core.memory import PAGE_SIZE
 from repro.flacdk.alloc import FrameAllocator
 from repro.rack.faults import FaultEvent, FaultKind
+from repro.rack.memory import UncorrectableMemoryError
 
 N_APPS = 6
 PAGES_PER_APP = 4
@@ -175,3 +177,151 @@ def test_incremental_replication_overhead(benchmark, emit):
     )
     assert first == 16 and second == 1
     assert incr_ns < full_ns
+
+
+def run_self_healing(heal):
+    """One chaos campaign of UE storms against protected apps.
+
+    ``heal=True`` runs with the kernel's repair pipeline installed
+    (detect -> repair -> retry, plus patrol scrubbing between steps);
+    ``heal=False`` uninstalls the handler so every UE surfaces and the
+    box-level recovery coordinator must restore whole boxes.
+    """
+    rig = build_rig()
+    kernel = rig.kernel
+    manager = kernel.boxes
+    boxes = []
+    for i in range(N_APPS):
+        box = manager.create_box(rig.c0, f"app{i}", criticality=2)
+        va = box.aspace.mmap(rig.c0, PAGES_PER_APP * PAGE_SIZE)
+        for p in range(PAGES_PER_APP):
+            box.aspace.write(rig.c0, va + p * PAGE_SIZE, b"app%d:p%d " % (i, p) * 64)
+        manager.snapshot(rig.c0, box)
+        kernel.replicator.enable(box)
+        kernel.replicator.sync(rig.c0, box)
+        boxes.append((box, va))
+    if not heal:
+        rig.machine.set_repair_handler(None)
+
+    def frames_of(box, va):
+        return [
+            box.aspace.page_table.try_translate(rig.c0, va + p * PAGE_SIZE).frame_addr
+            for p in range(PAGES_PER_APP)
+        ]
+
+    targets = tuple(f for box, va in boxes for f in frames_of(box, va))
+    campaign = ChaosCampaign(
+        name="e6d-ue-storms",
+        seed=1234,
+        events=(
+            event("ue_storm", at_step=0, count=8, targets=targets),
+            event("correlated_lines", at_step=0, lines=4, stride=PAGE_SIZE, base=targets[0]),
+            event("ue_storm", at_step=2, count=8, targets=targets),
+        ),
+        description="two UE storms plus one correlated line failure on app pages",
+    )
+
+    incidents = {"surfaced": 0, "recovery_ns": 0.0, "blast_boxes": 0}
+
+    def workload(step, ctx):
+        # every app touches all of its pages each step; cold caches so the
+        # reads actually reach (possibly poisoned) backing memory
+        for box, va in boxes:
+            for p, frame in enumerate(frames_of(box, va)):
+                ctx.invalidate(frame, PAGE_SIZE)
+                try:
+                    box.aspace.read(ctx, va + p * PAGE_SIZE, PAGE_SIZE)
+                except UncorrectableMemoryError as exc:
+                    incidents["surfaced"] += 1
+                    t0 = ctx.now()
+                    report = kernel.recovery.handle_memory_fault(
+                        ctx,
+                        FaultEvent(
+                            FaultKind.UNCORRECTABLE,
+                            time_ns=t0,
+                            addr=exc.addr,
+                            node_id=exc.node_id,
+                        ),
+                    )
+                    incidents["recovery_ns"] += ctx.now() - t0
+                    incidents["blast_boxes"] += report.blast_radius_boxes
+
+    rig.align()
+    t_start = rig.machine.max_time()
+    runner = CampaignRunner(rig.machine, kernel=kernel)
+    report = runner.run(
+        campaign,
+        workload=workload,
+        steps=5,
+        invariants=[boxes_recovered(), survivor_liveness()],
+        heal=heal,
+    )
+    ue_events = rig.machine.faults.log.events(FaultKind.UNCORRECTABLE)
+    pages_poisoned = len({ev.addr & ~(PAGE_SIZE - 1) for ev in ue_events})
+    repairs = kernel.repair.stats
+    return {
+        "ues_injected": len(ue_events),
+        "pages_poisoned": pages_poisoned,
+        "surfaced": incidents["surfaced"],
+        "repaired": repairs.repaired,
+        "attempted": repairs.attempted,
+        "by_source": dict(repairs.by_source),
+        "blast_boxes": incidents["blast_boxes"],
+        "recovery_us": incidents["recovery_ns"] / 1000,
+        "elapsed_us": (rig.machine.max_time() - t_start) / 1000,
+        "violations": report.violations,
+    }
+
+
+@pytest.mark.benchmark(group="fault")
+def test_self_healing_chaos(benchmark, emit):
+    def both():
+        return run_self_healing(heal=True), run_self_healing(heal=False)
+
+    healed, baseline = benchmark.pedantic(both, rounds=1, iterations=1)
+    table = Table(
+        "E6d — self-healing under a chaos campaign (2 UE storms + correlated lines, "
+        f"{N_APPS} replicated apps)",
+        [
+            "pipeline",
+            "UEs injected",
+            "surfaced to apps",
+            "repaired in place",
+            "boxes recovered",
+            "box-recovery time (us)",
+            "campaign time (us)",
+        ],
+    )
+    table.add_row(
+        "self-healing ON",
+        healed["ues_injected"],
+        healed["surfaced"],
+        healed["repaired"],
+        healed["blast_boxes"],
+        healed["recovery_us"],
+        healed["elapsed_us"],
+    )
+    table.add_row(
+        "self-healing OFF",
+        baseline["ues_injected"],
+        baseline["surfaced"],
+        baseline["repaired"],
+        baseline["blast_boxes"],
+        baseline["recovery_us"],
+        baseline["elapsed_us"],
+    )
+    healed_frac = 1 - healed["surfaced"] / max(1, healed["pages_poisoned"])
+    emit(
+        "E6d_self_healing",
+        table.render()
+        + f"\nrepair sources used: {healed['by_source']}"
+        + f"\n{healed['repaired']} in-place repairs across {healed['pages_poisoned']} poisoned "
+        f"pages: {healed_frac:.0%} healed without surfacing; "
+        f"blast radius {healed['blast_boxes']} vs {baseline['blast_boxes']} boxes",
+    )
+    assert not healed["violations"] and not baseline["violations"]
+    # >=90% of UEs on replicated/checkpointed pages repaired without
+    # surfacing; blast radius must not regress vs the baseline
+    assert healed["surfaced"] == 0
+    assert healed_frac >= 0.9
+    assert baseline["surfaced"] > 0 and baseline["blast_boxes"] > healed["blast_boxes"]

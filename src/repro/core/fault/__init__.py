@@ -15,9 +15,13 @@ from .redundancy import (
     RedundancyDecision,
     RedundancyMode,
 )
+from .repair_sources import CheckpointPageSource, FsBlockSource, ReplicaPageSource
 from .replication import PartialReplicator, ReplicaState
 
 __all__ = [
+    "CheckpointPageSource",
+    "FsBlockSource",
+    "ReplicaPageSource",
     "AdaptiveRedundancyPolicy",
     "BoxRecovery",
     "BoxSnapshot",

@@ -27,6 +27,9 @@ from ..flacdk.reliability import (
     FailurePredictor,
     HealthMonitor,
     HeartbeatDetector,
+    MemoryScrubber,
+    MirrorSource,
+    RepairCoordinator,
 )
 from ..flacdk.sync import OperationLog
 from ..rack.machine import NodeContext, RackMachine
@@ -34,10 +37,13 @@ from .boot import BootRom, rack_description
 from .devices import DeviceRegistry
 from .fault import (
     AdaptiveRedundancyPolicy,
+    CheckpointPageSource,
     FaultBoxManager,
     FaultRecoveryCoordinator,
+    FsBlockSource,
     NModularExecutor,
     PartialReplicator,
+    ReplicaPageSource,
 )
 from .fs import FlacFS
 from .interrupts import InterruptController, IrqBalancer
@@ -83,6 +89,10 @@ class NodeOS:
         self.heartbeat()
         self.kernel.fs.writeback_daemon_step(self.ctx, limit=16)
         self.kernel.fs.reclaimer.advance_and_reclaim(self.ctx)
+        # patrol scrub: node 0 walks one window of global memory per tick
+        # so latent poison is found/repaired before a consumer trips on it
+        if self.node_id == 0:
+            self.kernel.scrubber.step(self.ctx, max_bytes=1 << 18)
 
 
 class FlacOS:
@@ -143,6 +153,26 @@ class FlacOS:
             self.boxes, self.policy, replicator=self.replicator, monitor=self.monitor
         )
         self.nmodular = NModularExecutor()
+
+        # self-healing: detect -> contain -> repair -> prevent.  Source
+        # order is freshest-first: standby replica, n-modular mirror,
+        # latest checkpoint page, FlacFS block layer.
+        self.mirrors = MirrorSource()
+        self.repair = RepairCoordinator(
+            machine,
+            sources=[
+                ReplicaPageSource(self.boxes, self.replicator),
+                self.mirrors,
+                CheckpointPageSource(self.boxes),
+                FsBlockSource(self.fs),
+            ],
+        ).install()
+        self.scrubber = MemoryScrubber(
+            machine,
+            repair=self.repair,
+            predictor=self.predictor,
+            evacuate=self.memory.migrate_global_page,
+        )
 
         # §5 extensions: rack-wide interrupts, shared devices, boot rom
         self.interrupts = InterruptController(
@@ -220,6 +250,15 @@ class FlacOS:
             "fault_boxes": {
                 "total": len(self.boxes.boxes),
                 "failed": len(self.boxes.failed_boxes()),
+            },
+            "self_healing": {
+                "repairs_attempted": self.repair.stats.attempted,
+                "repaired": self.repair.stats.repaired,
+                "unrepairable": self.repair.stats.unrepairable,
+                "by_source": dict(self.repair.stats.by_source),
+                "scrub_passes": self.scrubber.stats.passes,
+                "latent_pages_found": self.scrubber.stats.latent_pages_found,
+                "evacuated": self.scrubber.stats.evacuated,
             },
             "clocks_us": {
                 node_id: round(self.machine.now(node_id) / 1000, 1)

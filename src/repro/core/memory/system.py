@@ -13,7 +13,7 @@ next time that owner allocates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ...flacdk.alloc import FrameAllocator, SharedHeap
 from ...flacdk.arena import Arena
@@ -80,6 +80,10 @@ class MemorySystem:
             free_frame=lambda ctx, frame: self.global_frames.free(ctx, frame),
         )
         self._file_reader = None
+        #: Frames pulled from circulation by proactive evacuation: they
+        #: are never freed back to the allocator (a risky frame must not
+        #: be handed out again), only counted.
+        self.quarantined_frames: Set[int] = set()
 
     # -- address spaces ---------------------------------------------------------------
 
@@ -184,6 +188,59 @@ class MemorySystem:
         from ...rack.params import LOCAL_STRIDE
 
         return frame // LOCAL_STRIDE
+
+    # -- proactive evacuation -----------------------------------------------------------
+
+    def migrate_global_page(self, ctx: NodeContext, frame: int) -> Optional[int]:
+        """Move a mapped global frame's content to a fresh frame.
+
+        The *prevent* arm of the self-healing loop: the failure
+        predictor flags a frame whose correctable-error density says it
+        is about to fail, and this relocates every mapping off it while
+        the bytes are still readable.  Returns the new frame, or None
+        when the address is not a mapped global frame (page-cache frames
+        and free frames are not ours to move).
+
+        The old frame is **quarantined**, not freed — handing a dying
+        frame back to the allocator would just move the fault to the
+        next tenant.
+        """
+        page = frame & ~(PAGE_SIZE - 1)
+        if not self.machine.is_global_addr(page):
+            return None
+        refs = sorted(self.rmap.refs(page))
+        if not refs:
+            return None
+        content = ctx.load(page, PAGE_SIZE, bypass_cache=True)
+        fresh = self.global_frames.alloc(ctx)
+        ctx.store(fresh, content, bypass_cache=True)
+        moved = 0
+        touched_asids = []
+        for asid, vpn in refs:
+            table = self._page_tables.get(asid)
+            if table is None:
+                continue
+            vaddr = vpn << 12
+            translation = table.try_translate(ctx, vaddr)
+            if translation is None or translation.frame_addr != page:
+                continue  # LOCAL-placement ref or stale rmap entry
+            table.map(ctx, vaddr, fresh, translation.flags)
+            self.rmap.add(fresh, asid, vpn)
+            self.rmap.remove(page, asid, vpn)
+            touched_asids.append(asid)
+            moved += 1
+        if not moved:
+            self.global_frames.free(ctx, fresh)
+            return None
+        # cached translations (every node) are stale: full shootdown
+        for asid in set(touched_asids):
+            self.tlbs[ctx.node_id].invalidate_asid(ctx, asid)
+            self.shootdown.request(ctx, asid)
+            for responder in self._other_contexts(ctx):
+                self.shootdown.service(responder, self.tlbs[responder.node_id])
+        if self.rmap.refcount(page) == 0:
+            self.quarantined_frames.add(page)
+        return fresh
 
     # -- dedup ------------------------------------------------------------------------------
 

@@ -2,7 +2,9 @@
 
 The full fault-handling pipeline: monitoring, failure prediction, fault
 detection (integrity + liveness), checkpointing integrated with epoch
-reclamation, and recovery by checkpoint restore + op-log replay.
+reclamation, recovery by checkpoint restore + op-log replay, in-place
+UE repair from redundancy sources, and background scrubbing with
+predictor-driven proactive evacuation.
 """
 
 from .checkpoint import Checkpoint, CheckpointManager, CheckpointStore
@@ -10,6 +12,8 @@ from .detection import ChecksumDetector, CorruptionReport, HeartbeatDetector
 from .monitor import HealthMonitor, HealthSummary
 from .prediction import FailurePredictor, PageRisk
 from .recovery import LogReplayRecovery, RecoveryCoordinator, RecoveryReport
+from .repair import MirrorSource, RepairCoordinator, RepairRecord, RepairSource, RepairStats
+from .scrub import MemoryScrubber, ScrubStats
 
 __all__ = [
     "Checkpoint",
@@ -22,7 +26,14 @@ __all__ = [
     "HealthSummary",
     "HeartbeatDetector",
     "LogReplayRecovery",
+    "MemoryScrubber",
+    "MirrorSource",
     "PageRisk",
     "RecoveryCoordinator",
     "RecoveryReport",
+    "RepairCoordinator",
+    "RepairRecord",
+    "RepairSource",
+    "RepairStats",
+    "ScrubStats",
 ]

@@ -54,6 +54,10 @@ class FailurePredictor:
         ]
         return sorted(risks, key=lambda r: -r.score)
 
+    def reset_page(self, page_addr: int) -> None:
+        """Forget a page's history (it was evacuated/retired)."""
+        self._scores.pop(page_addr, None)
+
     def decay_all(self) -> None:
         """Age the scores without new evidence (idle periods)."""
         self._scores = {

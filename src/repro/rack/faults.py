@@ -17,9 +17,10 @@ Everything is driven by a seeded RNG so experiments are reproducible.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from .memory import PhysicalMemory, Region
 from .params import FaultModel
@@ -31,6 +32,8 @@ class FaultKind(Enum):
     LINK_DOWN = "link_down"
     LINK_UP = "link_up"
     NODE_CRASH = "node_crash"
+    #: A poisoned range was rewritten from a redundancy source (self-healing).
+    REPAIR = "repair"
 
 
 @dataclass(frozen=True)
@@ -47,14 +50,32 @@ class FaultEvent:
 
 
 class FaultLog:
-    """Append-only record of injected faults; the health monitor reads it."""
+    """Append-only record of injected faults; the health monitor reads it.
+
+    Events arrive in non-decreasing ``time_ns`` order (simulated clocks
+    only move forward), so a per-kind index plus a parallel timestamp
+    list turns ``since_ns`` queries into a bisect + slice instead of a
+    full scan — CE storms append millions of events and the monitor
+    polls constantly.  Long campaigns call :meth:`compact` to drop the
+    prefix they no longer query; ``total_recorded`` keeps the all-time
+    count across compactions.
+    """
 
     def __init__(self) -> None:
         self._events: List[FaultEvent] = []
+        self._times: List[float] = []
+        self._by_kind: Dict[FaultKind, List[FaultEvent]] = {}
+        self._times_by_kind: Dict[FaultKind, List[float]] = {}
         self._listeners: List[Callable[[FaultEvent], None]] = []
+        #: All-time count, unaffected by :meth:`compact`.
+        self.total_recorded = 0
 
     def record(self, event: FaultEvent) -> None:
         self._events.append(event)
+        self._times.append(event.time_ns)
+        self._by_kind.setdefault(event.kind, []).append(event)
+        self._times_by_kind.setdefault(event.kind, []).append(event.time_ns)
+        self.total_recorded += 1
         for listener in self._listeners:
             listener(event)
 
@@ -62,11 +83,43 @@ class FaultLog:
         self._listeners.append(listener)
 
     def events(self, kind: Optional[FaultKind] = None, since_ns: float = 0.0) -> List[FaultEvent]:
-        return [
-            e
-            for e in self._events
-            if (kind is None or e.kind == kind) and e.time_ns >= since_ns
-        ]
+        if kind is None:
+            events, times = self._events, self._times
+        else:
+            events = self._by_kind.get(kind, [])
+            times = self._times_by_kind.get(kind, [])
+        if since_ns <= 0.0 or not events:
+            return list(events)
+        return events[bisect_left(times, since_ns) :]
+
+    def count(self, kind: Optional[FaultKind] = None, since_ns: float = 0.0) -> int:
+        """Event count without materialising the list."""
+        if kind is None:
+            times = self._times
+        else:
+            times = self._times_by_kind.get(kind, [])
+        if since_ns <= 0.0:
+            return len(times)
+        return len(times) - bisect_left(times, since_ns)
+
+    def compact(self, before_ns: float) -> int:
+        """Drop events older than ``before_ns``; returns how many went.
+
+        Bounded-memory operation for long chaos campaigns: the retained
+        suffix keeps its order, listeners are unaffected (they already
+        saw the dropped events), and ``total_recorded`` still counts them.
+        """
+        cut = bisect_left(self._times, before_ns)
+        if cut == 0:
+            return 0
+        del self._events[:cut]
+        del self._times[:cut]
+        for k, times in self._times_by_kind.items():
+            kcut = bisect_left(times, before_ns)
+            if kcut:
+                del times[:kcut]
+                del self._by_kind[k][:kcut]
+        return cut
 
     def __len__(self) -> int:
         return len(self._events)
@@ -171,7 +224,10 @@ class FaultInjector:
         if self.rng.random() < self.model.line_corruption_ratio:
             size = max(size, 64)
             offset &= ~63
-            offset = min(offset, device.size - size)
+            # devices smaller than a line would push the offset negative;
+            # clamp to [0, size] and shrink the spread to the device
+            size = min(size, device.size)
+            offset = max(0, min(offset, device.size - size))
         device.poison(offset, size)
         self.log.record(
             FaultEvent(
@@ -198,3 +254,11 @@ class FaultInjector:
 
     def record_node_crash(self, node_id: int, now_ns: float = 0.0) -> None:
         self.log.record(FaultEvent(FaultKind.NODE_CRASH, time_ns=now_ns, node_id=node_id))
+
+    def record_repair(
+        self, rack_addr: int, node_id: int = -1, now_ns: float = 0.0, detail: str = ""
+    ) -> None:
+        """Log a successful in-place repair of a poisoned range."""
+        self.log.record(
+            FaultEvent(FaultKind.REPAIR, time_ns=now_ns, addr=rack_addr, node_id=node_id, detail=detail)
+        )

@@ -21,7 +21,7 @@ Hardware contract reproduced from the paper (§2.1):
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .cache import NodeCache
 from .faults import FaultInjector
@@ -81,6 +81,15 @@ class RackMachine:
         # dropped when the fabric's generation moves (link/topology change).
         self._charge_memo: Dict[Tuple[int, int], Tuple[float, float]] = {}
         self._charge_gen = self.fabric.generation
+        # -- self-healing hook (see flacdk.reliability.repair) --------------
+        # When set, a poisoned access invokes the handler instead of raising
+        # immediately; the access retries (bounded, with backoff) after a
+        # claimed repair.  The reentrancy guard keeps the handler's own
+        # memory traffic from recursing into another repair.
+        self._repair_handler: Optional[Callable[[int, int], bool]] = None
+        self._in_repair = False
+        self.repair_max_retries = 3
+        self.repair_backoff_ns = 500.0
 
     # -- address helpers -------------------------------------------------------
 
@@ -313,6 +322,40 @@ class RackMachine:
             self.global_mem.write(0, bytes(self.global_mem.size))
             self.global_mem.poisoned.clear()
 
+    def set_repair_handler(self, handler: Optional[Callable[[int, int], bool]]) -> None:
+        """Install the self-healing hook: ``handler(rack_addr, node_id) -> repaired``.
+
+        Called when an access trips on poison; a True return means the
+        poisoned range was rewritten from a redundancy source and the
+        access may retry.  Pass ``None`` to disable (faults surface
+        immediately again).
+        """
+        self._repair_handler = handler
+
+    def poisoned_addrs(self, addr: int, size: int) -> List[int]:
+        """Rack addresses poisoned within ``[addr, addr+size)`` (scrub query).
+
+        The window must lie inside one region.  This is a *diagnostic*
+        read of the poison metadata — the ECC scrub engine's view — so
+        it does not roll fault dice or charge data-path latency.
+        """
+        region, offset = self.address_map.resolve(addr, 1)
+        size = min(size, region.size - offset)
+        return [region.base + o for o in region.device.poisoned_in(offset, size)]
+
+    def repair_write(self, node_id: int, addr: int, data: bytes) -> None:
+        """Rewrite a (possibly poisoned) range with known-good bytes.
+
+        The repair path: clears poison, writes the recovered content to
+        the backing device, and drops the repairing node's stale cached
+        lines.  Charged like a non-temporal store burst.
+        """
+        node, region, offset = self._access(node_id, addr, len(data))
+        self._charge_bulk(node, region, len(data), write=True)
+        region.device.clear_poison(offset, len(data))
+        region.device.write(offset, data)
+        node.cache.invalidate(addr, len(data))
+
     def set_link_state(self, u: str, v: str, up: bool) -> None:
         self.fabric.set_link_state(u, v, up)
         self.faults.record_link_change(u, v, up, now_ns=self.max_time())
@@ -452,8 +495,31 @@ class RackMachine:
         )
 
     def _check_poison(self, region: Region, offset: int, size: int, node_id: int) -> None:
-        if region.device.is_poisoned(offset, size):
-            raise UncorrectableMemoryError(region.base + offset, node_id)
+        device = region.device
+        if not device.is_poisoned(offset, size):
+            return
+        handler = self._repair_handler
+        if handler is not None and not self._in_repair:
+            # bounded retry-after-repair: hand the poisoned address to the
+            # self-healing pipeline, back off, and re-check.  The guard
+            # stops the handler's own reads from re-entering this path.
+            node = self.nodes.get(node_id)
+            for attempt in range(1, self.repair_max_retries + 1):
+                victims = device.poisoned_in(offset, size)
+                if not victims:
+                    return
+                self._in_repair = True
+                try:
+                    repaired = handler(region.base + victims[0], node_id)
+                finally:
+                    self._in_repair = False
+                if node is not None:
+                    node.clock.advance(self.repair_backoff_ns * attempt)
+                if not repaired:
+                    break
+            if not device.is_poisoned(offset, size):
+                return
+        raise UncorrectableMemoryError(region.base + offset, node_id)
 
     def _make_backing_reader(self, node_id: int):
         def read_backing(addr: int, size: int) -> bytes:

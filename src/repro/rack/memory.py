@@ -102,6 +102,23 @@ class PhysicalMemory:
         if lo < hi:
             poisoned.difference_update(range(lo, hi))
 
+    def poisoned_in(self, offset: int, size: int) -> List[int]:
+        """Sorted poisoned offsets within ``[offset, offset+size)``.
+
+        The scrubber's query: bounded by the poisoned extent like
+        :meth:`is_poisoned`, so clean windows cost O(1).
+        """
+        poisoned = self.poisoned
+        if not poisoned:
+            return []
+        lo = offset if offset > self._pmin else self._pmin
+        hi = min(offset + size, self._pmax + 1)
+        if lo >= hi:
+            return []
+        if len(poisoned) < hi - lo:
+            return sorted(o for o in poisoned if lo <= o < hi)
+        return sorted(poisoned.intersection(range(lo, hi)))
+
     def is_poisoned(self, offset: int, size: int) -> bool:
         poisoned = self.poisoned
         if not poisoned:

@@ -1,0 +1,113 @@
+"""Regression tests for the fault injector and the indexed fault log."""
+
+import pytest
+
+from repro.rack.faults import FaultEvent, FaultInjector, FaultKind, FaultLog
+from repro.rack.memory import MemoryKind, PhysicalMemory
+from repro.rack.params import FaultModel
+
+
+def _injector(line_ratio: float) -> FaultInjector:
+    return FaultInjector(FaultModel(line_corruption_ratio=line_ratio), seed=1)
+
+
+class TestLineSpreadClamp:
+    """inject_ue's line spread must stay inside the device, whatever its size."""
+
+    def test_device_smaller_than_a_cache_line(self):
+        # a 32B device cannot hold a 64B line spread: pre-fix the clamp
+        # computed offset = device.size - 64 = -32 and poison() raised
+        device = PhysicalMemory(32, MemoryKind.LOCAL_DRAM, "tiny")
+        inj = _injector(line_ratio=1.0)  # always take the line-spread path
+        inj.inject_ue(device, 5)
+        assert device.poisoned == set(range(32))
+
+    def test_one_byte_device(self):
+        device = PhysicalMemory(1, MemoryKind.LOCAL_DRAM, "bit")
+        inj = _injector(line_ratio=1.0)
+        inj.inject_ue(device, 0)
+        assert device.poisoned == {0}
+
+    def test_offset_near_device_end_is_pulled_back(self):
+        device = PhysicalMemory(128, MemoryKind.LOCAL_DRAM, "small")
+        inj = _injector(line_ratio=1.0)
+        inj.inject_ue(device, 127)  # line-aligns to 64, spread fits
+        assert max(device.poisoned) < 128
+        assert min(device.poisoned) >= 0
+        assert len(device.poisoned) == 64
+
+    def test_single_byte_path_unaffected(self):
+        device = PhysicalMemory(32, MemoryKind.LOCAL_DRAM, "tiny")
+        inj = _injector(line_ratio=0.0)  # never spread
+        inj.inject_ue(device, 7)
+        assert device.poisoned == {7}
+
+
+def _ev(kind, t, addr=None):
+    return FaultEvent(kind=kind, time_ns=t, addr=addr)
+
+
+class TestFaultLogIndex:
+    def test_events_filters_by_kind_and_time(self):
+        log = FaultLog()
+        for t in range(10):
+            log.record(_ev(FaultKind.CORRECTABLE, float(t), addr=t))
+        log.record(_ev(FaultKind.UNCORRECTABLE, 4.5, addr=99))
+        assert len(log.events(FaultKind.CORRECTABLE)) == 10
+        assert len(log.events(FaultKind.UNCORRECTABLE)) == 1
+        assert [e.addr for e in log.events(FaultKind.CORRECTABLE, since_ns=7.0)] == [7, 8, 9]
+        assert [e.addr for e in log.events(since_ns=4.5)] == [5, 6, 7, 8, 9, 99]
+
+    def test_count_matches_events(self):
+        log = FaultLog()
+        for t in range(100):
+            kind = FaultKind.CORRECTABLE if t % 3 else FaultKind.UNCORRECTABLE
+            log.record(_ev(kind, float(t)))
+        for kind in (None, FaultKind.CORRECTABLE, FaultKind.UNCORRECTABLE):
+            for since in (0.0, 33.0, 99.5):
+                assert log.count(kind, since_ns=since) == len(log.events(kind, since_ns=since))
+
+    def test_since_equal_timestamp_is_inclusive(self):
+        log = FaultLog()
+        log.record(_ev(FaultKind.CORRECTABLE, 5.0, addr=1))
+        log.record(_ev(FaultKind.CORRECTABLE, 6.0, addr=2))
+        assert [e.addr for e in log.events(since_ns=5.0)] == [1, 2]
+
+    def test_compact_drops_prefix_only(self):
+        log = FaultLog()
+        for t in range(20):
+            kind = FaultKind.CORRECTABLE if t % 2 else FaultKind.LINK_DOWN
+            log.record(_ev(kind, float(t)))
+        dropped = log.compact(before_ns=10.0)
+        assert dropped == 10
+        assert len(log) == 10
+        assert log.total_recorded == 20
+        assert [e.time_ns for e in log.events()] == [float(t) for t in range(10, 20)]
+        # per-kind views were compacted consistently
+        assert all(e.time_ns >= 10.0 for e in log.events(FaultKind.CORRECTABLE))
+        assert log.count(FaultKind.LINK_DOWN) == 5
+        # queries still work after compaction
+        assert log.count(FaultKind.CORRECTABLE, since_ns=15.0) == 3
+
+    def test_compact_noop_when_nothing_older(self):
+        log = FaultLog()
+        log.record(_ev(FaultKind.CORRECTABLE, 10.0))
+        assert log.compact(before_ns=5.0) == 0
+        assert len(log) == 1
+
+    def test_listeners_survive_compaction(self):
+        log = FaultLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.record(_ev(FaultKind.CORRECTABLE, 1.0))
+        log.compact(before_ns=2.0)
+        log.record(_ev(FaultKind.CORRECTABLE, 3.0))
+        assert len(seen) == 2
+
+    def test_repair_events_are_logged(self):
+        log = FaultLog()
+        inj = _injector(0.0)
+        inj.log = log
+        inj.record_repair(0x1000, node_id=1, now_ns=5.0, detail="source=test")
+        (event,) = log.events(FaultKind.REPAIR)
+        assert event.addr == 0x1000 and event.detail == "source=test"
