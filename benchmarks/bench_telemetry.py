@@ -1,0 +1,169 @@
+"""Telemetry overhead microbenchmark — instrumented vs uninstrumented.
+
+The observability layer's contract (DESIGN.md §8): with telemetry
+disabled every instrumentation site costs one attribute check, and with
+it enabled the *simulated* nanoseconds charged are bit-identical — only
+host CPU time may grow.  This bench quantifies both halves on the same
+substrate workloads the data-plane bench uses (hot cached loads/stores
+and the 90/10 mix), running each body twice: telemetry off, then
+telemetry on with counters live.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py            # full run
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke    # <5 s sanity run
+
+A full run writes ``BENCH_telemetry.json`` at the repo root via the
+harness's ``emit_bench_metrics`` hook (override with ``--json``); the
+file carries per-workload ops/sec for both modes, the overhead ratio,
+and the telemetry registry snapshot of the instrumented run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict
+
+if __name__ == "__main__" and __package__ is None:  # allow running from a checkout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry
+from repro.bench.harness import emit_bench_metrics
+from repro.rack import RackConfig, RackMachine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_LINE = 64
+_HOT_LINES = 256
+
+
+def _fresh(smoke: bool) -> RackMachine:
+    kw = {}
+    if smoke:
+        kw.update(global_mem_size=1 << 22, local_mem_size=1 << 20)
+    return RackMachine(RackConfig(n_nodes=2, **kw))
+
+
+def _setup_load_hot(smoke: bool) -> Callable[[int], None]:
+    m = _fresh(smoke)
+    g = m.global_base
+    for i in range(_HOT_LINES):
+        m.load(0, g + i * _LINE, 8)
+    mask = _HOT_LINES - 1
+    return lambda i: m.load(0, g + (i & mask) * _LINE, 8)
+
+
+def _setup_store_hot(smoke: bool) -> Callable[[int], None]:
+    m = _fresh(smoke)
+    g = m.global_base
+    for i in range(_HOT_LINES):
+        m.load(0, g + i * _LINE, 8)
+    mask = _HOT_LINES - 1
+    payload = b"\xa5" * 8
+    return lambda i: m.store(0, g + (i & mask) * _LINE, payload)
+
+
+def _setup_mixed(smoke: bool) -> Callable[[int], None]:
+    m = _fresh(smoke)
+    g = m.global_base
+    for i in range(_HOT_LINES):
+        m.load(0, g + i * _LINE, 8)
+    mask = _HOT_LINES - 1
+    payload = b"\x7e" * 8
+
+    def body(i):
+        addr = g + (i & mask) * _LINE
+        if i % 10 == 9:
+            m.store(0, addr, payload)
+        else:
+            m.load(0, addr, 8)
+
+    return body
+
+
+WORKLOADS = {
+    "cached_load_hot": (_setup_load_hot, 200_000),
+    "cached_store_hot": (_setup_store_hot, 200_000),
+    "mixed_90_10": (_setup_mixed, 200_000),
+}
+
+
+def _time_body(setup, ops: int, smoke: bool, repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds for ``ops`` iterations."""
+    best = float("inf")
+    for _ in range(repeats):
+        body = setup(smoke)
+        t0 = time.perf_counter()
+        for i in range(ops):
+            body(i)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(smoke: bool = False) -> Dict[str, Dict[str, float]]:
+    scale = 20 if smoke else 1
+    repeats = 1 if smoke else 3
+    results: Dict[str, Dict[str, float]] = {}
+    for name, (setup, full_ops) in WORKLOADS.items():
+        ops = full_ops // scale
+        telemetry.disable()
+        wall_off = _time_body(setup, ops, smoke, repeats)
+        telemetry.reset()
+        telemetry.enable()  # counters on, tracing off: the hot-path mode
+        wall_on = _time_body(setup, ops, smoke, repeats)
+        telemetry.disable()
+        results[name] = {
+            "ops": ops,
+            "ops_per_sec_off": round(ops / wall_off, 1),
+            "ops_per_sec_on": round(ops / wall_on, 1),
+            "overhead_ratio": round(wall_on / wall_off, 3),
+        }
+    return results
+
+
+def render(results: Dict[str, Dict[str, float]]) -> str:
+    rows = [f"{'workload':<20} {'ops':>8} {'off ops/s':>12} {'on ops/s':>12} {'overhead':>9}"]
+    for name, m in results.items():
+        rows.append(
+            f"{name:<20} {m['ops']:>8} {m['ops_per_sec_off']:>12,.0f} "
+            f"{m['ops_per_sec_on']:>12,.0f} {m['overhead_ratio']:>8.2f}x"
+        )
+    return "\n".join(rows)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny op counts (<5 s); for CI sanity, not measurement")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="output path (default BENCH_telemetry.json at repo root; "
+                         "smoke runs skip writing unless set)")
+    args = ap.parse_args(argv)
+
+    results = run(smoke=args.smoke)
+    print(render(results))
+
+    if args.json is not None or not args.smoke:
+        # Re-run one instrumented workload so the emitted snapshot shows
+        # real counters (run() leaves telemetry disabled).
+        telemetry.reset()
+        telemetry.enable()
+        body = _setup_mixed(args.smoke)
+        for i in range(20_000 // (20 if args.smoke else 1)):
+            body(i)
+        out = emit_bench_metrics(
+            "telemetry",
+            {"mode": "smoke" if args.smoke else "full", "workloads": results},
+            path=args.json,
+        )
+        telemetry.disable()
+        telemetry.reset()
+        print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

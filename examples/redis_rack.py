@@ -6,10 +6,14 @@ first over FlacOS shared-memory IPC and then over the simulated kernel
 TCP stack, and prints the per-request latencies side by side.
 
 Run:  python examples/redis_rack.py
+      python examples/redis_rack.py --telemetry run.json   # then:
+      python -m repro.telemetry run.json
 """
 
+import argparse
 import statistics
 
+from repro import telemetry
 from repro.apps.redis import connect_over_flacos, connect_over_tcp
 from repro.bench import build_rig
 from repro.net import TcpNetwork
@@ -35,6 +39,17 @@ def run(transport: str, value_size: int, requests: int = 60):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="record metrics + spans and export a telemetry run JSON to PATH "
+        "(view with: python -m repro.telemetry PATH)",
+    )
+    opts = parser.parse_args()
+    if opts.telemetry:
+        telemetry.enable(tracing=True)
+
     print(f"{'size':>6} {'op':<4} {'TCP (us)':>10} {'FlacOS (us)':>12} {'reduction':>10}")
     for size in (64, 4096):
         flacos_set, flacos_get = run("flacos", size)
@@ -55,6 +70,14 @@ def main() -> None:
     client.request(b"MSET", b"a", b"1", b"b", b"2")
     print("  MGET a b missing ->", client.request(b"MGET", b"a", b"b", b"missing"))
     print("  DBSIZE ->", client.request(b"DBSIZE"))
+
+    if opts.telemetry:
+        out = telemetry.TELEMETRY.export_json(
+            opts.telemetry, meta={"example": "redis_rack"}
+        )
+        telemetry.disable()
+        print(f"\ntelemetry run written to {out}")
+        print(f"view it with: python -m repro.telemetry {out}")
 
 
 if __name__ == "__main__":

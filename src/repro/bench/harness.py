@@ -10,12 +10,18 @@ simulated ones printed here.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.kernel import FlacOS
 from ..rack import RackConfig, RackMachine
+from ..telemetry import TELEMETRY
+
+#: Schema tag for ``BENCH_*.json`` files written by :func:`emit_bench_metrics`.
+BENCH_METRICS_SCHEMA = "repro.bench.metrics/1"
 
 
 @dataclass
@@ -154,3 +160,29 @@ def summarize_speedups(pairs: Dict[str, Tuple[float, float]]) -> Table:
     for label, (baseline, flacos) in pairs.items():
         table.add_row(label, baseline / 1000, flacos / 1000, f"{baseline / flacos:.2f}x")
     return table
+
+
+def emit_bench_metrics(
+    bench: str,
+    data: dict,
+    path: Optional[pathlib.Path] = None,
+    include_telemetry: bool = True,
+) -> pathlib.Path:
+    """Write ``BENCH_<bench>.json`` next to the repo root.
+
+    Uniform dump hook for every benchmark: ``data`` is the bench's own
+    result payload; when telemetry is enabled the current registry
+    snapshot rides along so a bench run doubles as a metrics capture.
+    Returns the path written.
+    """
+    if path is None:
+        # src/repro/bench/harness.py -> repo root is four parents up
+        path = pathlib.Path(__file__).resolve().parents[3] / f"BENCH_{bench}.json"
+    report = {
+        "schema": BENCH_METRICS_SCHEMA,
+        "bench": bench,
+        "data": data,
+        "telemetry": TELEMETRY.registry.snapshot() if TELEMETRY.enabled else None,
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 from ..rack.faults import FaultLog
 from ..rack.machine import RackMachine
 from ..rack.params import GLOBAL_BASE
+from ..telemetry import TELEMETRY as _TEL, span as _span
 
 _PAGE = 4096
 _LINE = 64
@@ -120,6 +121,10 @@ class CampaignRunner:
         pending = list(campaign.events)
         report = CampaignReport(campaign=campaign.name, seed=campaign.seed, steps_run=0)
         lines = [f"campaign={campaign.name} seed={campaign.seed} steps={steps}"]
+        # Counter baseline: the digest below covers only this run's
+        # monotone deltas, so it is deterministic even when the global
+        # registry carries metrics from earlier runs in the process.
+        tel_baseline = _TEL.registry.counter_baseline() if _TEL.enabled else None
 
         for step in range(steps):
             ctx = self._alive_ctx()
@@ -127,14 +132,16 @@ class CampaignRunner:
                 lines.append(f"step={step} halt=no-survivors")
                 break
             if workload is not None:
-                workload(step, ctx)
+                with _span("chaos.step", ctx=ctx, step=step):
+                    workload(step, ctx)
             now = self.machine.max_time()
             accesses = self.total_accesses()
             for ev in list(pending):
                 if not ev.due(now, accesses, step):
                     continue
                 pending.remove(ev)
-                detail = self._apply(ev, rng)
+                with _span(f"chaos.event.{ev.action}", ctx=ctx, step=step):
+                    detail = self._apply(ev, rng)
                 fired = FiredEvent(step=step, at_ns=now, action=ev.action, detail=detail)
                 report.fired.append(fired)
                 lines.append(fired.line())
@@ -155,6 +162,8 @@ class CampaignRunner:
         finally:
             self.machine.faults.enabled = was_enabled
 
+        if tel_baseline is not None:
+            lines.append(f"telemetry digest={_TEL.registry.delta_digest(tel_baseline)}")
         lines.append("-- fault log --")
         lines.append(render_fault_log(self.machine.faults.log))
         report.journal = "\n".join(lines) + "\n"

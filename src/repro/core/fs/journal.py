@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...rack.machine import NodeContext
+from ...telemetry import TELEMETRY as _TEL, span as _span
 from .metadata import MetadataStore, _Namespace
 
 
@@ -47,16 +48,21 @@ class MetadataJournal:
 
     def checkpoint(self, ctx: NodeContext) -> JournalRecord:
         """Snapshot this node's replica at its current replay position."""
-        replica = self.store.nr.replica(ctx)
-        replica.read(ctx, lambda ns: None)  # fold in everything committed
-        blob = pickle.dumps(replica.state, protocol=pickle.HIGHEST_PROTOCOL)
-        record = JournalRecord(
-            watermark=replica.applied, state_blob=blob, committed_at_ns=ctx.now()
-        )
-        # checkpoint write cost ~ blob size at global-memory bandwidth
-        ctx.advance(len(blob) / 10.0)
-        ctx.atomic_store(self.watermark_addr, record.watermark)
-        self._record = record
+        with _span("fs.journal.commit", ctx=ctx):
+            replica = self.store.nr.replica(ctx)
+            replica.read(ctx, lambda ns: None)  # fold in everything committed
+            blob = pickle.dumps(replica.state, protocol=pickle.HIGHEST_PROTOCOL)
+            record = JournalRecord(
+                watermark=replica.applied, state_blob=blob, committed_at_ns=ctx.now()
+            )
+            # checkpoint write cost ~ blob size at global-memory bandwidth
+            ctx.advance(len(blob) / 10.0)
+            ctx.atomic_store(self.watermark_addr, record.watermark)
+            self._record = record
+        if _TEL.enabled:
+            reg = _TEL.registry
+            reg.inc(ctx.node_id, "core.fs", "journal.commit", now_ns=ctx.now())
+            reg.observe(ctx.node_id, "core.fs", "journal.blob_bytes", len(blob))
         return record
 
     def recover(self, ctx: NodeContext) -> int:

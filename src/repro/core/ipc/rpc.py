@@ -20,7 +20,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ...rack.machine import NodeContext, RackMachine
+from ...telemetry import TELEMETRY as _TEL, span as _span
 from ..params import OsCosts
+
+_SUB = "core.ipc"
 from .registry import Endpoint, NameRegistry
 from .shared_buffer import BufferPool, BufferRef
 
@@ -84,13 +87,29 @@ class RpcSystem:
 
     def call(self, ctx: NodeContext, name: str, *args: Any, **kwargs: Any) -> Any:
         """Invoke ``name`` by thread migration from ``ctx``'s node."""
-        handler = self._resolve_code(ctx, name)
-        self.stats.calls += 1
-        ctx.advance(self.costs.addr_space_switch_ns)  # migrate in
-        try:
-            return handler(ctx, *args, **kwargs)
-        finally:
-            ctx.advance(self.costs.addr_space_switch_ns)  # migrate back
+        if not _TEL.enabled:
+            handler = self._resolve_code(ctx, name)
+            self.stats.calls += 1
+            ctx.advance(self.costs.addr_space_switch_ns)  # migrate in
+            try:
+                return handler(ctx, *args, **kwargs)
+            finally:
+                ctx.advance(self.costs.addr_space_switch_ns)  # migrate back
+        before = ctx.now()
+        with _span("ipc.rpc.call", ctx=ctx, service=name):
+            handler = self._resolve_code(ctx, name)
+            self.stats.calls += 1
+            ctx.advance(self.costs.addr_space_switch_ns)  # migrate in
+            try:
+                return handler(ctx, *args, **kwargs)
+            finally:
+                ctx.advance(self.costs.addr_space_switch_ns)  # migrate back
+                reg = _TEL.registry
+                reg.inc(ctx.node_id, _SUB, "rpc.calls")
+                reg.observe(
+                    ctx.node_id, _SUB, "rpc.migration_ns", ctx.now() - before,
+                    now_ns=ctx.now(),
+                )
 
     def _resolve_code(self, ctx: NodeContext, name: str) -> Callable:
         node_cache = self._code_cache.setdefault(ctx.node_id, {})

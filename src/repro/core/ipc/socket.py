@@ -21,7 +21,10 @@ from ...flacdk.alloc import SharedHeap
 from ...flacdk.arena import Arena
 from ...flacdk.structures import SpscRing
 from ...rack.machine import NodeContext, RackMachine
+from ...telemetry import TELEMETRY as _TEL
 from ..params import OsCosts
+
+_SUB = "core.ipc"
 from .registry import Endpoint, NameRegistry
 from .shared_buffer import PACKED_SIZE, BufferPool, BufferRef
 
@@ -80,11 +83,22 @@ class Connection:
         self._check_open()
         ctx.advance(self.ipc.costs.syscall_ns)
         if len(data) <= INLINE_MAX:
-            return self._send.try_push(ctx, bytes([_TAG_INLINE]) + data)
+            ok = self._send.try_push(ctx, bytes([_TAG_INLINE]) + data)
+            if ok and _TEL.enabled:
+                _TEL.registry.inc(ctx.node_id, _SUB, "ipc.send.inline")
+            return ok
+        before = ctx.now() if _TEL.enabled else 0.0
         ref = self.ipc.buffers.put(ctx, data)
         ok = self._send.try_push(ctx, bytes([_TAG_BUFFER]) + ref.pack())
         if not ok:
             self.ipc.buffers.free(ctx, ref)
+        elif _TEL.enabled:
+            reg = _TEL.registry
+            reg.inc(ctx.node_id, _SUB, "ipc.send.zero_copy")
+            reg.observe(
+                ctx.node_id, _SUB, "ipc.zero_copy_send_ns", ctx.now() - before,
+                now_ns=ctx.now(),
+            )
         return ok
 
     def recv(self, ctx: NodeContext) -> Optional[bytes]:
@@ -108,7 +122,16 @@ class Connection:
         """Hand an already-shared buffer to the peer (ownership moves)."""
         self._check_open()
         ctx.advance(self.ipc.costs.syscall_ns)
-        return self._send.try_push(ctx, bytes([_TAG_BUFFER]) + ref.pack())
+        before = ctx.now() if _TEL.enabled else 0.0
+        ok = self._send.try_push(ctx, bytes([_TAG_BUFFER]) + ref.pack())
+        if ok and _TEL.enabled:
+            reg = _TEL.registry
+            reg.inc(ctx.node_id, _SUB, "ipc.send.zero_copy")
+            reg.observe(
+                ctx.node_id, _SUB, "ipc.zero_copy_send_ns", ctx.now() - before,
+                now_ns=ctx.now(),
+            )
+        return ok
 
     def recv_buffer(self, ctx: NodeContext) -> Optional[BufferRef]:
         """Receive a descriptor without copying the payload anywhere."""

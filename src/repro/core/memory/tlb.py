@@ -17,8 +17,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ...rack.machine import NodeContext
+from ...telemetry import TELEMETRY as _TEL
 from ..params import OsCosts
 from .page_table import SharedPageTable, Translation, vpn_of
+
+_SUB = "core.memory"
 
 
 @dataclass
@@ -48,9 +51,13 @@ class Tlb:
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if _TEL.enabled:
+                _TEL.registry.inc(self.node_id, _SUB, "tlb.hit")
             ctx.advance(self.costs.tlb_hit_ns)
             return entry
         self.stats.misses += 1
+        if _TEL.enabled:
+            _TEL.registry.inc(self.node_id, _SUB, "tlb.miss")
         return None
 
     def fill(self, asid: int, vaddr: int, translation: Translation) -> None:
@@ -125,6 +132,10 @@ class TlbShootdown:
         gen = ctx.fetch_add(self.base, 1) + 1
         # the initiator acks itself immediately (it flushes its own TLB)
         ctx.atomic_store(self._ack_addr(ctx.node_id), gen)
+        if _TEL.enabled:
+            _TEL.registry.inc(
+                ctx.node_id, _SUB, "tlb.shootdown.requested", now_ns=ctx.now()
+            )
         return gen
 
     def acked_by_all(self, ctx: NodeContext, gen: int, alive_nodes: Optional[List[int]] = None) -> bool:
@@ -150,6 +161,10 @@ class TlbShootdown:
             for vpn in range(start_vpn, end_vpn):
                 tlb.invalidate(ctx, asid, vpn << 12)
         tlb.stats.shootdowns_served += 1
+        if _TEL.enabled:
+            _TEL.registry.inc(
+                ctx.node_id, _SUB, "tlb.shootdown.served", now_ns=ctx.now()
+            )
         ctx.atomic_store(self._ack_addr(ctx.node_id), gen)
         return True
 
@@ -171,6 +186,14 @@ class CachedWalker:
         cached = self.tlb.lookup(ctx, self.asid, vaddr)
         if cached is not None and (not write or cached.writable):
             return cached
-        translation = self.page_table.translate(ctx, vaddr, write=write)
+        if _TEL.enabled:
+            before = ctx.now()
+            translation = self.page_table.translate(ctx, vaddr, write=write)
+            _TEL.registry.inc(ctx.node_id, _SUB, "ptwalk")
+            _TEL.registry.observe(
+                ctx.node_id, _SUB, "ptwalk_ns", ctx.now() - before
+            )
+        else:
+            translation = self.page_table.translate(ctx, vaddr, write=write)
         self.tlb.fill(self.asid, vaddr, translation)
         return translation

@@ -28,6 +28,9 @@ from typing import Dict, List, Optional
 
 from ...rack.machine import NodeContext, RackMachine
 from ...rack.memory import UncorrectableMemoryError
+from ...telemetry import TELEMETRY as _TEL, span as _span
+
+_SUB = "reliability"
 
 #: Repair granularity: one OS page (matches checkpoint / replica pages).
 REPAIR_PAGE = 4096
@@ -139,6 +142,16 @@ class RepairCoordinator:
 
     def repair(self, ctx: NodeContext, rack_addr: int) -> RepairRecord:
         """Attempt in-place repair of the page containing ``rack_addr``."""
+        with _span("reliability.repair", ctx=ctx, addr=rack_addr):
+            record = self._repair(ctx, rack_addr)
+        if _TEL.enabled:
+            reg = _TEL.registry
+            reg.inc(ctx.node_id, _SUB, "repair.attempt", now_ns=ctx.now())
+            reg.inc(ctx.node_id, _SUB, "repair.ok" if record.ok else "repair.fail")
+            reg.inc(ctx.node_id, _SUB, f"repair.source.{record.source}")
+        return record
+
+    def _repair(self, ctx: NodeContext, rack_addr: int) -> RepairRecord:
         page = rack_addr & ~(REPAIR_PAGE - 1)
         machine = self.machine
         self.stats.attempted += 1

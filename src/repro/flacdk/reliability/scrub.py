@@ -23,8 +23,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ...rack.machine import NodeContext, RackMachine
+from ...telemetry import TELEMETRY as _TEL, span as _span
 from .prediction import FailurePredictor
 from .repair import REPAIR_PAGE, RepairCoordinator
+
+_SUB = "reliability"
 
 
 @dataclass
@@ -75,26 +78,36 @@ class MemoryScrubber:
         via the machine's scrub query (no fault dice, no data reads),
         repairs it in place, then lets the predictor drive evacuation.
         """
-        window = min(max_bytes or self.window_bytes, self.machine.global_size - self._cursor)
-        base = self.machine.global_base + self._cursor
-        ctx.advance(window / 1024 * self.scrub_ns_per_kb)
-        victims = self.machine.poisoned_addrs(base, window)
-        self.stats.windows_scanned += 1
-        self.stats.bytes_scanned += window
-        self._cursor += window
-        if self._cursor >= self.machine.global_size:
-            self._cursor = 0
-            self.stats.passes += 1
-        pages = sorted({v & ~(REPAIR_PAGE - 1) for v in victims})
-        for page in pages:
-            self.stats.latent_pages_found += 1
-            if self.repair is None:
-                continue
-            if self.repair.repair(ctx, page).ok:
-                self.stats.repaired += 1
-            else:
-                self.stats.unrepairable += 1
-        self._feed_predictor_and_evacuate(ctx)
+        with _span("reliability.scrub.step", ctx=ctx):
+            window = min(max_bytes or self.window_bytes, self.machine.global_size - self._cursor)
+            base = self.machine.global_base + self._cursor
+            ctx.advance(window / 1024 * self.scrub_ns_per_kb)
+            victims = self.machine.poisoned_addrs(base, window)
+            self.stats.windows_scanned += 1
+            self.stats.bytes_scanned += window
+            self._cursor += window
+            if self._cursor >= self.machine.global_size:
+                self._cursor = 0
+                self.stats.passes += 1
+            pages = sorted({v & ~(REPAIR_PAGE - 1) for v in victims})
+            for page in pages:
+                self.stats.latent_pages_found += 1
+                if self.repair is None:
+                    continue
+                if self.repair.repair(ctx, page).ok:
+                    self.stats.repaired += 1
+                else:
+                    self.stats.unrepairable += 1
+            self._feed_predictor_and_evacuate(ctx)
+        if _TEL.enabled:
+            reg = _TEL.registry
+            now = ctx.now()
+            reg.inc(ctx.node_id, _SUB, "scrub.windows", now_ns=now)
+            if pages:
+                reg.inc(ctx.node_id, _SUB, "scrub.latent_pages", len(pages))
+            reg.set_gauge(ctx.node_id, _SUB, "scrub.bytes_scanned", self.stats.bytes_scanned, now_ns=now)
+            reg.set_gauge(ctx.node_id, _SUB, "scrub.passes", self.stats.passes, now_ns=now)
+            reg.set_gauge(ctx.node_id, _SUB, "scrub.evacuated", self.stats.evacuated, now_ns=now)
         return pages
 
     def full_pass(self, ctx: NodeContext) -> List[int]:

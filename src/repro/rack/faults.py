@@ -22,8 +22,11 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
+from ..telemetry import TELEMETRY as _TEL
 from .memory import PhysicalMemory, Region
 from .params import FaultModel
+
+_SUB = "reliability"
 
 
 class FaultKind(Enum):
@@ -76,6 +79,13 @@ class FaultLog:
         self._by_kind.setdefault(event.kind, []).append(event)
         self._times_by_kind.setdefault(event.kind, []).append(event.time_ns)
         self.total_recorded += 1
+        if _TEL.enabled:
+            _TEL.registry.inc(
+                event.node_id if event.node_id is not None else -1,
+                _SUB,
+                f"fault.{event.kind.value}",
+                now_ns=event.time_ns,
+            )
         for listener in self._listeners:
             listener(event)
 

@@ -38,9 +38,17 @@ from .memory import (
 from .node import Node
 from .params import GLOBAL_BASE, LOCAL_STRIDE, RackConfig
 from . import topology as topo
+from ..telemetry import TELEMETRY as _TEL
 
 
 _INT_FMT = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+#: Telemetry subsystem for the data plane (metric naming convention:
+#: DESIGN.md §8).  Cache hit/miss accounting is routed through these
+#: counters *symmetrically* — fast-path hits and general-path hits and
+#: misses all land here — while ``NodeCache.stats`` stays as the
+#: compatibility view tests and benches already read.
+_SUB = "rack.machine"
 
 
 class RackMachine:
@@ -148,6 +156,8 @@ class RackMachine:
                     if line is not None:
                         lines.move_to_end(base)
                         cache.stats.hits += 1
+                        if _TEL.enabled:
+                            _TEL.registry.inc(node_id, _SUB, "cache.hit")
                         # == _charge_cached(node, region, hits=1, misses=0)
                         node.clock._now_ns += self._hit_ns
                         lo = addr - base
@@ -157,6 +167,8 @@ class RackMachine:
             self._charge_bulk(node, region, size, write=False)
             self._maybe_fault(region, offset, size, node_id)
             self._check_poison(region, offset, size, node_id)
+            if _TEL.enabled:
+                _TEL.registry.inc(node_id, _SUB, "bypass.load")
             return region.device.read(offset, size)
         data, hits, misses = node.cache.load(addr, size)
         self._charge_cached(node, region, hits, misses)
@@ -189,6 +201,8 @@ class RackMachine:
                         line.data[lo : lo + size] = data
                         line.dirty = True
                         cache.stats.hits += 1
+                        if _TEL.enabled:
+                            _TEL.registry.inc(node_id, _SUB, "cache.hit")
                         # == _charge_cached(node, region, hits=1, misses=0)
                         node.clock._now_ns += self._hit_ns
                         return
@@ -198,6 +212,8 @@ class RackMachine:
             self._maybe_fault(region, offset, len(data), node_id)
             region.device.clear_poison(offset, len(data))
             region.device.write(offset, data)
+            if _TEL.enabled:
+                _TEL.registry.inc(node_id, _SUB, "bypass.store")
             return
         hits, misses, allocs = node.cache.store(addr, data)
         # full-line allocations never fetch: charged like hits
@@ -415,6 +431,10 @@ class RackMachine:
         node, region, offset = self._access(node_id, addr, width)
         cost = self.latency.global_atomic_ns if region.is_global else self.latency.local_atomic_ns
         node.clock.advance(cost)
+        if _TEL.enabled:
+            _TEL.registry.inc(
+                node_id, _SUB, "atomic.global" if region.is_global else "atomic.local"
+            )
         node.cache.invalidate(addr, width)
         self._maybe_fault(region, offset, width, node_id)
         self._check_poison(region, offset, width, node_id)
@@ -459,6 +479,14 @@ class RackMachine:
         return pair
 
     def _charge_cached(self, node: Node, region: Region, hits: int, misses: int) -> None:
+        if _TEL.enabled and (hits or misses):
+            reg = _TEL.registry
+            if hits:
+                reg.inc(node.node_id, _SUB, "cache.hit", hits)
+            if misses:
+                reg.inc(node.node_id, _SUB, "cache.miss", misses)
+                if region.is_global:
+                    reg.inc(node.node_id, _SUB, "cache.remote_fetch", misses)
         lat = self.latency
         ns = hits * lat.cache_hit_ns
         if misses:
@@ -479,6 +507,8 @@ class RackMachine:
         node.clock.advance(ns)
 
     def _charge_writeback(self, node: Node, region: Region, lines: int) -> None:
+        if _TEL.enabled:
+            _TEL.registry.inc(node.node_id, _SUB, "cache.writeback_lines", lines)
         first, rest_line = self._line_pair_ns(node, region)
         rest = (lines - 1) * rest_line
         node.clock.advance(first + rest + lines * self.latency.writeback_line_ns)
@@ -508,6 +538,8 @@ class RackMachine:
                 victims = device.poisoned_in(offset, size)
                 if not victims:
                     return
+                if _TEL.enabled:
+                    _TEL.registry.inc(node_id, _SUB, "fault.retry")
                 self._in_repair = True
                 try:
                     repaired = handler(region.base + victims[0], node_id)
@@ -519,6 +551,8 @@ class RackMachine:
                     break
             if not device.is_poisoned(offset, size):
                 return
+        if _TEL.enabled:
+            _TEL.registry.inc(node_id, _SUB, "fault.ue_raised")
         raise UncorrectableMemoryError(region.base + offset, node_id)
 
     def _make_backing_reader(self, node_id: int):

@@ -1,0 +1,187 @@
+"""``repro.telemetry`` — rack-wide observability for the FlacOS substrate.
+
+The paper's reliability stack (§3.2) and its evaluation both presuppose
+*rack-wide* visibility: kernel state crosses node boundaries, so no
+single node's counters explain a latency.  This package is that layer:
+
+* a :class:`~repro.telemetry.registry.MetricsRegistry` of counters,
+  gauges and fixed log-bucket histograms keyed ``(node, subsystem,
+  name)``, timestamped off the simulated ``rack.clock``;
+* :func:`span` tracing that records cause-linked trees and exports
+  Chrome ``trace_event`` JSON plus a flamegraph-style text summary;
+* a dashboard renderer (``python -m repro.telemetry run.json``).
+
+Instrumentation contract
+------------------------
+
+The substrate's data plane is instrumented at its load-bearing paths
+(``rack.machine`` cache hits/misses, ``core.memory`` walks and
+shootdowns, ``core.fs`` page-cache and journal, ``core.ipc`` RPC,
+``flacdk.reliability`` repair/scrub, chaos).  Every hook is guarded by
+**one attribute check** on the module-level :data:`TELEMETRY` state::
+
+    if _TEL.enabled:
+        _TEL.registry.inc(node_id, "rack.machine", "cache.hit")
+
+With telemetry disabled (the default) the data-plane fast path keeps its
+golden latencies (``tests/rack/test_golden_latency.py``); enabled or
+not, telemetry never advances a simulated clock — observing the rack is
+free in simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from .registry import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricKey,
+    MetricsRegistry,
+    N_BUCKETS,
+    RACK_WIDE,
+    bucket_index,
+    rate,
+)
+from .spans import Span, TraceBuffer, validate_chrome_trace
+
+RUN_SCHEMA = "repro.telemetry.run/1"
+
+
+class TelemetryState:
+    """The process-wide telemetry switchboard.
+
+    ``enabled`` gates metrics, ``tracing`` gates spans (tracing implies
+    enabled).  Both default off so an un-instrumented run pays exactly
+    one attribute check per hook.
+    """
+
+    __slots__ = ("enabled", "tracing", "registry", "trace")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracing = False
+        self.registry = MetricsRegistry()
+        self.trace = TraceBuffer()
+
+    # -- switches --------------------------------------------------------------
+
+    def enable(self, tracing: bool = False) -> "TelemetryState":
+        self.enabled = True
+        if tracing:
+            self.tracing = True
+        return self
+
+    def disable(self) -> "TelemetryState":
+        self.enabled = False
+        self.tracing = False
+        return self
+
+    def reset(self) -> "TelemetryState":
+        """Drop every recorded metric and span (switches unchanged)."""
+        self.registry.clear()
+        self.trace.clear()
+        return self
+
+    # -- export ----------------------------------------------------------------
+
+    def export_run(self, meta: Optional[dict] = None) -> dict:
+        """The whole run as one JSON-ready dict (metrics + trace)."""
+        return {
+            "schema": RUN_SCHEMA,
+            "meta": meta or {},
+            "metrics": self.registry.snapshot(),
+            "trace": self.trace.to_chrome_trace() if self.trace.spans else None,
+        }
+
+    def export_json(
+        self, path: Union[str, pathlib.Path], meta: Optional[dict] = None
+    ) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.export_run(meta), indent=2) + "\n")
+        return path
+
+
+#: The singleton every instrumentation site checks.
+TELEMETRY = TelemetryState()
+
+
+def enable(tracing: bool = False) -> TelemetryState:
+    return TELEMETRY.enable(tracing=tracing)
+
+
+def disable() -> TelemetryState:
+    return TELEMETRY.disable()
+
+
+def reset() -> TelemetryState:
+    return TELEMETRY.reset()
+
+
+def load_run(path: Union[str, pathlib.Path]) -> dict:
+    """Read an exported run, validating schema and (if present) trace."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != RUN_SCHEMA:
+        raise ValueError(
+            f"{path}: not a telemetry run export (schema={data.get('schema')!r})"
+        )
+    if data.get("trace") is not None:
+        validate_chrome_trace(data["trace"])
+    return data
+
+
+@contextmanager
+def span(name: str, ctx=None, node: int = RACK_WIDE, **args):
+    """Trace one operation: ``with span("fs.read", ctx=ctx, file=fid): ...``
+
+    ``ctx`` is a :class:`~repro.rack.machine.NodeContext`; its simulated
+    clock stamps the span and its node becomes the span's node.  Without
+    a context the span is rack-wide and timestamped with the parent's
+    clock position (or zero at top level) — still deterministic.  When
+    tracing is off this is a no-op that yields ``None``.
+    """
+    t = TELEMETRY
+    if not t.tracing:
+        yield None
+        return
+    if ctx is not None:
+        node = ctx.node_id
+        start = ctx.now()
+    else:
+        current = t.trace.current()
+        start = current.start_ns if current is not None else 0.0
+    s = t.trace.begin(name, node, start, **args)
+    try:
+        yield s
+    finally:
+        if ctx is not None:
+            end = ctx.now()
+        else:
+            end = max(start, s.start_ns)
+        t.trace.end(s, end)
+
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Histogram",
+    "MetricKey",
+    "MetricsRegistry",
+    "N_BUCKETS",
+    "RACK_WIDE",
+    "RUN_SCHEMA",
+    "Span",
+    "TELEMETRY",
+    "TelemetryState",
+    "TraceBuffer",
+    "bucket_index",
+    "disable",
+    "enable",
+    "load_run",
+    "rate",
+    "reset",
+    "span",
+    "validate_chrome_trace",
+]

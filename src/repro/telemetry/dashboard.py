@@ -1,0 +1,202 @@
+"""Latency-breakdown dashboard: a terminal snapshot of one exported run.
+
+Renders the headline health panel the paper's evaluation reads off —
+per-node cache hit ratio, TLB activity (hits/misses/shootdowns),
+page-cache hit ratio, RPC latency p50/p99, CE/UE/repair counts — then a
+per-subsystem breakdown of every other metric, and (when the run was
+traced) the flamegraph-style hottest-paths summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .registry import Histogram, MetricsRegistry, RACK_WIDE, rate
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+        return f"{int(round(value)):,}"
+    return f"{value:,.2f}"
+
+
+def _pct(value: float) -> str:
+    return "-" if value != value else f"{value * 100:.1f}%"
+
+
+class _Grid:
+    """Fixed-width table (same look as the bench harness tables)."""
+
+    def __init__(self, title: str, columns: List[str]) -> None:
+        self.title = title
+        self.columns = columns
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        out = [f"-- {self.title} --"]
+        out.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        for row in self.rows:
+            out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(out)
+
+
+def _node_label(node: int) -> str:
+    return "rack" if node == RACK_WIDE else f"node{node}"
+
+
+def _per_node(reg: MetricsRegistry, subsystem: str, name: str) -> Dict[int, float]:
+    return {
+        n: v
+        for (n, s, m), v in reg.counters.items()
+        if s == subsystem and m == name
+    }
+
+
+def _hist_union(
+    reg: MetricsRegistry, subsystem: str, name: str
+) -> Optional[Histogram]:
+    merged: Optional[Histogram] = None
+    for (n, s, m), h in reg.histograms.items():
+        if s != subsystem or m != name:
+            continue
+        if merged is None:
+            merged = Histogram()
+        merged.count += h.count
+        merged.total += h.total
+        merged.min_value = min(merged.min_value, h.min_value)
+        merged.max_value = max(merged.max_value, h.max_value)
+        for i, c in enumerate(h.buckets):
+            merged.buckets[i] += c
+    return merged
+
+
+def render_headline(reg: MetricsRegistry) -> str:
+    """The acceptance panel: one row per node, the load-bearing ratios."""
+    cache_hits = _per_node(reg, "rack.machine", "cache.hit")
+    cache_misses = _per_node(reg, "rack.machine", "cache.miss")
+    tlb_hits = _per_node(reg, "core.memory", "tlb.hit")
+    tlb_misses = _per_node(reg, "core.memory", "tlb.miss")
+    shootdowns = _per_node(reg, "core.memory", "tlb.shootdown.served")
+    pc_hits = _per_node(reg, "core.fs", "page_cache.hit")
+    pc_misses = _per_node(reg, "core.fs", "page_cache.miss")
+    nodes = sorted(
+        set(cache_hits) | set(cache_misses) | set(tlb_hits) | set(tlb_misses)
+        | set(shootdowns) | set(pc_hits) | set(pc_misses)
+    )
+    grid = _Grid(
+        "per-node health",
+        ["node", "cache hit%", "tlb hit%", "tlb shootdowns", "pgcache hit%", "rpc p50/p99 (ns)"],
+    )
+    for node in nodes:
+        rpc = reg.histogram(node, "core.ipc", "rpc.migration_ns")
+        rpc_cell = (
+            f"{_fmt(rpc.percentile(0.5))} / {_fmt(rpc.percentile(0.99))}"
+            if rpc is not None and rpc.count
+            else "-"
+        )
+        grid.add(
+            _node_label(node),
+            _pct(rate(cache_hits.get(node, 0.0), cache_misses.get(node, 0.0))
+                 if (node in cache_hits or node in cache_misses) else float("nan")),
+            _pct(rate(tlb_hits.get(node, 0.0), tlb_misses.get(node, 0.0))
+                 if (node in tlb_hits or node in tlb_misses) else float("nan")),
+            _fmt(shootdowns.get(node, 0.0)),
+            _pct(rate(pc_hits.get(node, 0.0), pc_misses.get(node, 0.0))
+                 if (node in pc_hits or node in pc_misses) else float("nan")),
+            rpc_cell,
+        )
+    lines = [grid.render()] if nodes else []
+
+    # rack-wide reliability summary
+    ce = reg.counter_total("reliability", "fault.ce")
+    ue = reg.counter_total("reliability", "fault.ue")
+    repairs = reg.counter_total("reliability", "repair.ok")
+    failed = reg.counter_total("reliability", "repair.fail")
+    rel = _Grid("reliability", ["CE", "UE", "repairs ok", "repairs failed"])
+    rel.add(_fmt(ce), _fmt(ue), _fmt(repairs), _fmt(failed))
+    lines.append(rel.render())
+
+    rpc_all = _hist_union(reg, "core.ipc", "rpc.migration_ns")
+    zc_all = _hist_union(reg, "core.ipc", "ipc.zero_copy_send_ns")
+    if rpc_all or zc_all:
+        ipc = _Grid("ipc latency (simulated ns)",
+                    ["path", "count", "mean", "p50", "p99", "max"])
+        for label, h in (("rpc (migration)", rpc_all), ("socket (zero-copy)", zc_all)):
+            if h is None or not h.count:
+                continue
+            ipc.add(label, _fmt(h.count), _fmt(h.mean),
+                    _fmt(h.percentile(0.5)), _fmt(h.percentile(0.99)),
+                    _fmt(h.max_value))
+        lines.append(ipc.render())
+    return "\n\n".join(lines)
+
+
+def render_subsystems(reg: MetricsRegistry) -> str:
+    """Every metric, grouped by subsystem, nodes as columns."""
+    sections = []
+    for subsystem in reg.subsystems():
+        names: Dict[Tuple[str, str], Dict[int, str]] = {}
+        for (node, s, name), v in sorted(reg.counters.items()):
+            if s == subsystem:
+                names.setdefault(("counter", name), {})[node] = _fmt(v)
+        for (node, s, name), v in sorted(reg.gauges.items()):
+            if s == subsystem:
+                names.setdefault(("gauge", name), {})[node] = _fmt(v)
+        for (node, s, name), h in sorted(reg.histograms.items()):
+            if s == subsystem:
+                names.setdefault(("histogram", name), {})[node] = (
+                    f"n={h.count} p50={_fmt(h.percentile(0.5))} p99={_fmt(h.percentile(0.99))}"
+                )
+        if not names:
+            continue
+        nodes = sorted({n for cells in names.values() for n in cells})
+        grid = _Grid(subsystem, ["metric", "kind"] + [_node_label(n) for n in nodes])
+        for (kind, name), cells in sorted(names.items(), key=lambda kv: kv[0][1]):
+            grid.add(name, kind, *[cells.get(n, "-") for n in nodes])
+        sections.append(grid.render())
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"
+
+
+def render_dashboard(run: dict, flame: bool = True) -> str:
+    """Full dashboard text for one exported run dict (see ``load_run``)."""
+    reg = MetricsRegistry.from_snapshot(run.get("metrics", {}))
+    meta = run.get("meta") or {}
+    header = "== rack telemetry dashboard =="
+    if meta:
+        header += "  (" + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())) + ")"
+    parts = [header]
+    headline = render_headline(reg)
+    if headline:
+        parts.append(headline)
+    parts.append(render_subsystems(reg))
+    if flame and run.get("trace"):
+        from .spans import TraceBuffer, Span
+
+        buf = TraceBuffer()
+        for ev in run["trace"].get("traceEvents", []):
+            if ev.get("ph") != "X":
+                continue
+            args = ev.get("args") or {}
+            buf.spans.append(
+                Span(
+                    span_id=int(args.get("span_id", len(buf.spans) + 1)),
+                    name=ev["name"],
+                    node=ev["pid"],
+                    start_ns=float(ev["ts"]) * 1000.0,
+                    end_ns=(float(ev["ts"]) + float(ev.get("dur", 0.0))) * 1000.0,
+                    parent_id=args.get("parent_id"),
+                )
+            )
+        parts.append("-- hottest traced paths --\n" + buf.flame_summary())
+    return "\n\n".join(parts)

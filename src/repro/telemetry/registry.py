@@ -1,0 +1,309 @@
+"""The rack-wide metrics registry.
+
+Every metric is keyed ``(node, subsystem, name)``: the node observing it
+(``-1`` for rack-wide events with no single observer), the subsystem
+that owns it (``"rack.machine"``, ``"core.memory"``, ``"core.fs"``,
+``"core.ipc"``, ``"reliability"``, ``"chaos"``, ...), and a dotted
+metric name (``"cache.hit"``, ``"rpc.migration_ns"``).  Three metric
+kinds cover the substrate:
+
+* **counters** — monotone event counts (cache hits, TLB shootdowns);
+* **gauges** — last-written values (scrub cursor, resident pages);
+* **histograms** — value distributions over *fixed log-scale buckets*
+  (operation latencies in simulated ns), so two runs that observe the
+  same values produce bit-identical bucket arrays.
+
+Nothing here advances a simulated clock: recording a metric is free in
+simulated time (the instrumentation-overhead budget is *host* CPU only,
+and the data plane guards every call behind one attribute check).
+Timestamps, where kept, are read from the caller's simulated
+``rack.clock`` and stored for the dashboard — never fed back into
+latency accounting.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: One metric's identity: (node, subsystem, name).
+MetricKey = Tuple[int, str, str]
+
+#: Node id used for rack-wide metrics with no single observing node.
+RACK_WIDE = -1
+
+#: Histogram bucket upper bounds: powers of two from 1 ns to ~18 min of
+#: simulated time, plus an overflow bucket.  Fixed for every histogram so
+#: exports and digests are stable across runs and machines.
+N_BUCKETS = 42  # indices 0..40 = bounds 2^0..2^40, index 41 = overflow
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(float(1 << i) for i in range(41))
+
+
+def bucket_index(value: float) -> int:
+    """Index of the log-scale bucket holding ``value``.
+
+    Bucket ``i`` (for ``i <= 40``) holds values in ``(2^(i-1), 2^i]``;
+    bucket 0 holds everything ``<= 1`` (including zero and negatives,
+    which the simulator never produces but must not crash on).
+    """
+    if value <= 1.0:
+        return 0
+    iv = int(value)
+    if float(iv) < value:
+        iv += 1  # ceil: 2.5 belongs with upper bound 4, not 2
+    idx = (iv - 1).bit_length()
+    return idx if idx <= 40 else 41
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket log-scale histogram with exact count/sum/min/max."""
+
+    count: int = 0
+    total: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+    buckets: List[int] = field(default_factory=lambda: [0] * N_BUCKETS)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        self.buckets[bucket_index(value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Returns the geometric midpoint of the bucket containing the
+        quantile rank, clamped to the exact observed min/max — good to
+        within one power of two, which is all a log-scale latency
+        breakdown needs.
+        """
+        if not self.count:
+            return float("nan")
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                rep = self._bucket_midpoint(idx)
+                return min(max(rep, self.min_value), self.max_value)
+        return self.max_value
+
+    @staticmethod
+    def _bucket_midpoint(idx: int) -> float:
+        if idx == 0:
+            return 1.0
+        if idx >= 41:
+            return float(1 << 41)
+        hi = float(1 << idx)
+        lo = float(1 << (idx - 1))
+        return (lo * hi) ** 0.5
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value if self.count else None,
+            "max": self.max_value if self.count else None,
+            # sparse encoding keeps exports small; indices are strings
+            # because JSON object keys must be
+            "buckets": {str(i): n for i, n in enumerate(self.buckets) if n},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        h = cls()
+        h.count = int(data.get("count", 0))
+        h.total = float(data.get("sum", 0.0))
+        h.min_value = float(data["min"]) if data.get("min") is not None else float("inf")
+        h.max_value = float(data["max"]) if data.get("max") is not None else float("-inf")
+        for idx, n in (data.get("buckets") or {}).items():
+            h.buckets[int(idx)] = int(n)
+        return h
+
+
+class MetricsRegistry:
+    """All metrics of one run, keyed ``(node, subsystem, name)``.
+
+    Instrumentation sites call :meth:`inc` / :meth:`set_gauge` /
+    :meth:`observe`; exporters call :meth:`snapshot`.  ``last_update_ns``
+    (when a site passes its simulated clock) is kept per key for the
+    dashboard's "as of" column and never used for accounting.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[MetricKey, float] = {}
+        self.gauges: Dict[MetricKey, float] = {}
+        self.histograms: Dict[MetricKey, Histogram] = {}
+        self.last_update_ns: Dict[MetricKey, float] = {}
+
+    # -- write side ------------------------------------------------------------
+
+    def inc(
+        self,
+        node: int,
+        subsystem: str,
+        name: str,
+        delta: float = 1.0,
+        now_ns: Optional[float] = None,
+    ) -> None:
+        key = (node, subsystem, name)
+        self.counters[key] = self.counters.get(key, 0.0) + delta
+        if now_ns is not None:
+            self.last_update_ns[key] = now_ns
+
+    def set_gauge(
+        self,
+        node: int,
+        subsystem: str,
+        name: str,
+        value: float,
+        now_ns: Optional[float] = None,
+    ) -> None:
+        key = (node, subsystem, name)
+        self.gauges[key] = value
+        if now_ns is not None:
+            self.last_update_ns[key] = now_ns
+
+    def observe(
+        self,
+        node: int,
+        subsystem: str,
+        name: str,
+        value: float,
+        now_ns: Optional[float] = None,
+    ) -> None:
+        key = (node, subsystem, name)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe(value)
+        if now_ns is not None:
+            self.last_update_ns[key] = now_ns
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.last_update_ns.clear()
+
+    # -- read side -------------------------------------------------------------
+
+    def counter(self, node: int, subsystem: str, name: str) -> float:
+        return self.counters.get((node, subsystem, name), 0.0)
+
+    def counter_total(self, subsystem: str, name: str) -> float:
+        """Sum of one counter across every node."""
+        return sum(
+            v for (n, s, m), v in self.counters.items() if s == subsystem and m == name
+        )
+
+    def histogram(self, node: int, subsystem: str, name: str) -> Optional[Histogram]:
+        return self.histograms.get((node, subsystem, name))
+
+    def subsystems(self) -> List[str]:
+        seen = {k[1] for k in self.counters}
+        seen.update(k[1] for k in self.gauges)
+        seen.update(k[1] for k in self.histograms)
+        return sorted(seen)
+
+    def nodes(self) -> List[int]:
+        seen = {k[0] for k in self.counters}
+        seen.update(k[0] for k in self.gauges)
+        seen.update(k[0] for k in self.histograms)
+        return sorted(seen)
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot: sorted keys, deterministic layout."""
+        return {
+            "counters": [
+                [k[0], k[1], k[2], v] for k, v in sorted(self.counters.items())
+            ],
+            "gauges": [[k[0], k[1], k[2], v] for k, v in sorted(self.gauges.items())],
+            "histograms": [
+                [k[0], k[1], k[2], h.to_dict()]
+                for k, h in sorted(self.histograms.items())
+            ],
+            "last_update_ns": [
+                [k[0], k[1], k[2], t] for k, t in sorted(self.last_update_ns.items())
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "MetricsRegistry":
+        reg = cls()
+        for node, subsystem, name, value in data.get("counters", []):
+            reg.counters[(node, subsystem, name)] = value
+        for node, subsystem, name, value in data.get("gauges", []):
+            reg.gauges[(node, subsystem, name)] = value
+        for node, subsystem, name, hdict in data.get("histograms", []):
+            reg.histograms[(node, subsystem, name)] = Histogram.from_dict(hdict)
+        for node, subsystem, name, t in data.get("last_update_ns", []):
+            reg.last_update_ns[(node, subsystem, name)] = t
+        return reg
+
+    # -- determinism digest ----------------------------------------------------
+
+    def delta_digest(self, baseline: Optional[dict] = None) -> str:
+        """SHA-256 over the sorted *monotone* metric deltas since ``baseline``.
+
+        ``baseline`` is a prior :meth:`counter_baseline`; only counters
+        and histogram ``(count, sum)`` pairs participate — they are
+        monotone, so the delta of a run is independent of whatever ran
+        before it in the same process.  Two identical runs therefore
+        produce identical digests even against a dirty registry, which
+        is what the chaos journal's byte-identity guarantee needs.
+        """
+        base_counters = (baseline or {}).get("counters", {})
+        base_hists = (baseline or {}).get("histograms", {})
+        lines = []
+        for key in sorted(self.counters):
+            delta = self.counters[key] - base_counters.get(key, 0.0)
+            if delta:
+                lines.append(f"c {key[0]} {key[1]} {key[2]} {delta:.6f}")
+        for key in sorted(self.histograms):
+            hist = self.histograms[key]
+            b_count, b_sum = base_hists.get(key, (0, 0.0))
+            d_count = hist.count - b_count
+            d_sum = hist.total - b_sum
+            if d_count:
+                lines.append(f"h {key[0]} {key[1]} {key[2]} {d_count} {d_sum:.6f}")
+        return sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+    def counter_baseline(self) -> dict:
+        """Cheap monotone-state capture for a later :meth:`delta_digest`."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {k: (h.count, h.total) for k, h in self.histograms.items()},
+        }
+
+
+def merge_keys(*key_iters: Iterable[MetricKey]) -> List[MetricKey]:
+    """Sorted union of metric keys (dashboard helper)."""
+    merged = set()
+    for keys in key_iters:
+        merged.update(keys)
+    return sorted(merged)
+
+
+def rate(hits: float, misses: float) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def find_bucket_bound(value: float) -> float:
+    """Smallest fixed bucket bound >= value (axis-labelling helper)."""
+    idx = bisect_left(list(BUCKET_BOUNDS), value)
+    return BUCKET_BOUNDS[min(idx, len(BUCKET_BOUNDS) - 1)]

@@ -1,0 +1,235 @@
+"""Lightweight span tracing over the simulated clocks.
+
+A *span* is one timed operation (``fs.read``, ``ipc.rpc.call``,
+``chaos.step``) with a begin/end timestamp read from the issuing node's
+simulated clock.  Spans opened while another span is active are linked
+to it as children, so a run produces cause-linked trees: a chaos step
+contains the repair it triggered contains the source reads the repair
+issued.
+
+Two exports:
+
+* **Chrome ``trace_event`` JSON** — complete (``"ph": "X"``) events,
+  one ``pid`` per node, loadable in ``chrome://tracing`` / Perfetto;
+* **flamegraph-style text summary** — ``root;child;leaf  total_ns  count``
+  lines, aggregated by call path, for terminals and CI logs.
+
+The tracer is deterministic: span ids are a resettable counter and all
+timestamps are simulated nanoseconds, so two identical runs export
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced operation."""
+
+    span_id: int
+    name: str
+    node: int
+    start_ns: float
+    end_ns: float = 0.0
+    parent_id: Optional[int] = None
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class TraceBuffer:
+    """Collects finished spans and tracks the open-span stack."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(self, name: str, node: int, start_ns: float, **args) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            node=node,
+            start_ns=start_ns,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            args=tuple(sorted(args.items())),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, end_ns: float) -> None:
+        # close any forgotten children first so the stack stays consistent
+        while self._stack and self._stack[-1] is not span:
+            orphan = self._stack.pop()
+            orphan.end_ns = max(orphan.start_ns, end_ns)
+            self.spans.append(orphan)
+        if self._stack:
+            self._stack.pop()
+        span.end_ns = max(span.start_ns, end_ns)
+        self.spans.append(span)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` JSON object (the JSON Object Format).
+
+        One complete (``"X"``) event per span; ``pid`` is the node
+        (``pid 0`` hosts rack-wide spans as node ``-1`` is not a valid
+        pid in the viewers), ``tid`` is the span's root cause so each
+        causal tree gets its own track.  Timestamps are microseconds, as
+        the format requires; sub-ns precision survives as fractions.
+        """
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": self._pid(node),
+                "tid": 0,
+                "args": {"name": f"node{node}" if node >= 0 else "rack"},
+            }
+            for node in sorted({s.node for s in self.spans})
+        ]
+        roots = self._root_of()
+        for span in sorted(self.spans, key=lambda s: (s.start_ns, s.span_id)):
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start_ns / 1000.0,
+                    "dur": span.duration_ns / 1000.0,
+                    "pid": self._pid(span.node),
+                    "tid": roots[span.span_id],
+                    "args": dict(span.args, span_id=span.span_id,
+                                 parent_id=span.parent_id),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def flame_summary(self, max_rows: int = 40) -> str:
+        """Flamegraph-style folded-stack summary, hottest paths first."""
+        totals: Dict[Tuple[str, ...], List[float]] = {}
+        paths = self._paths()
+        for span in self.spans:
+            path = paths[span.span_id]
+            entry = totals.setdefault(path, [0.0, 0])
+            entry[0] += span.duration_ns
+            entry[1] += 1
+        if not totals:
+            return "(no spans recorded)"
+        rows = sorted(totals.items(), key=lambda kv: (-kv[1][0], kv[0]))
+        width = max(len(";".join(p)) for p, _ in rows[:max_rows])
+        lines = [f"{'path':<{width}}  {'total_ns':>14}  {'count':>7}"]
+        for path, (total, count) in rows[:max_rows]:
+            lines.append(f"{';'.join(path):<{width}}  {total:>14,.1f}  {count:>7}")
+        if len(rows) > max_rows:
+            lines.append(f"... {len(rows) - max_rows} more paths")
+        return "\n".join(lines)
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _pid(node: int) -> int:
+        return node if node >= 0 else 0
+
+    def _by_id(self) -> Dict[int, Span]:
+        return {s.span_id: s for s in self.spans}
+
+    def _root_of(self) -> Dict[int, int]:
+        by_id = self._by_id()
+        roots: Dict[int, int] = {}
+
+        def resolve(span: Span) -> int:
+            cached = roots.get(span.span_id)
+            if cached is not None:
+                return cached
+            if span.parent_id is None or span.parent_id not in by_id:
+                root = span.span_id
+            else:
+                root = resolve(by_id[span.parent_id])
+            roots[span.span_id] = root
+            return root
+
+        for span in self.spans:
+            resolve(span)
+        return roots
+
+    def _paths(self) -> Dict[int, Tuple[str, ...]]:
+        by_id = self._by_id()
+        paths: Dict[int, Tuple[str, ...]] = {}
+
+        def resolve(span: Span) -> Tuple[str, ...]:
+            cached = paths.get(span.span_id)
+            if cached is not None:
+                return cached
+            if span.parent_id is None or span.parent_id not in by_id:
+                path: Tuple[str, ...] = (span.name,)
+            else:
+                path = resolve(by_id[span.parent_id]) + (span.name,)
+            paths[span.span_id] = path
+            return path
+
+        for span in self.spans:
+            resolve(span)
+        return paths
+
+
+# -- trace_event schema validation (CI lane + tests) ----------------------------
+
+_VALID_PHASES = {"X", "B", "E", "M", "i", "I", "C", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(trace: dict) -> int:
+    """Validate a Chrome ``trace_event`` JSON object; returns event count.
+
+    Checks the JSON Object Format contract the viewers rely on: a
+    ``traceEvents`` list of dict events, each with a string ``name``, a
+    known ``ph``, integer ``pid``/``tid``, and (for non-metadata events)
+    a non-negative numeric ``ts``; complete events additionally need a
+    non-negative ``dur``.  Raises ``ValueError`` on the first violation.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"traceEvents[{i}].name missing or empty")
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"traceEvents[{i}].ph {ph!r} is not a known phase")
+        for field_name in ("pid", "tid"):
+            if not isinstance(ev.get(field_name), int):
+                raise ValueError(f"traceEvents[{i}].{field_name} must be an int")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"traceEvents[{i}].ts must be a number >= 0")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}].dur must be a number >= 0")
+    return len(events)

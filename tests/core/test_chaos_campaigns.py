@@ -210,3 +210,41 @@ class TestDeterminism:
         rig.machine.faults.inject_ce(rig.machine.global_base + 64, node_id=1, now_ns=10.0)
         out = render_fault_log(rig.machine.faults.log)
         assert out == f"ce t=10.0 addr={rig.machine.global_base + 64:#x} node=1 "
+
+    def test_telemetry_digest_in_journal_is_deterministic(self):
+        """ISSUE 4 satellite: with telemetry on, the journal carries a
+        sorted-counter delta digest and stays byte-identical across
+        same-seed runs — even though the global registry is dirty with
+        the first run's metrics by the time the second one starts."""
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            a = self._run_once()
+            b = self._run_once()
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert "telemetry digest=" in a.journal
+        assert a.journal == b.journal
+        assert a.digest == b.digest
+
+    def test_journal_identical_with_and_without_telemetry_modulo_digest(self):
+        """Telemetry must not perturb the run itself: stripping the digest
+        line from an instrumented journal yields the uninstrumented one."""
+        from repro import telemetry
+
+        plain = self._run_once()
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            instrumented = self._run_once()
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        stripped = "\n".join(
+            line for line in instrumented.journal.splitlines()
+            if not line.startswith("telemetry digest=")
+        ) + "\n"
+        assert stripped == plain.journal

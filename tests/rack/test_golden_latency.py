@@ -406,3 +406,59 @@ def test_zero_rate_config_produces_no_events():
     assert len(m.faults.log) == 0
     # the RNG stream is untouched when no fault can fire
     assert m.faults.rng.random() == type(m.faults.rng)(cfg.seed).random()
+
+
+# -- observability must not perturb the data plane (ISSUE 4 satellite) -------
+
+
+def test_telemetry_disabled_by_default():
+    """A fresh process never pays more than the ``enabled`` attribute check."""
+    from repro import telemetry
+
+    assert not telemetry.TELEMETRY.enabled
+    assert not telemetry.TELEMETRY.tracing
+    # nothing above accidentally recorded while disabled
+    assert not telemetry.TELEMETRY.registry.counters
+
+
+def test_golden_latency_with_telemetry_enabled():
+    """Recording metrics must add zero simulated time: the golden charged
+    ns and cache counters hold bit for bit with telemetry (and tracing)
+    on — instrumentation costs host CPU only."""
+    from repro import telemetry
+
+    telemetry.reset()
+    telemetry.enable(tracing=True)
+    try:
+        for name, cfg in _topologies().items():
+            steps, stats = _run_latency_pattern(cfg)
+            golden = _GOLDEN[name]
+            _assert_steps_match(golden["steps"], steps, cfg.latency.writeback_line_ns)
+            assert stats == golden["stats"], f"{name}: cache counters diverged"
+        # and the registry actually saw the traffic
+        reg = telemetry.TELEMETRY.registry
+        assert reg.counter_total("rack.machine", "cache.hit") > 0
+        assert reg.counter_total("rack.machine", "cache.miss") > 0
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+def test_telemetry_cache_counters_match_cache_stats():
+    """Satellite fix: hit/miss accounting routed through telemetry must
+    agree with the per-node ``cache.stats`` compatibility view."""
+    from repro import telemetry
+
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        cfg = RackConfig(n_nodes=2)
+        steps, stats = _run_latency_pattern(cfg)
+        reg = telemetry.TELEMETRY.registry
+        for nid in (0, 1):
+            hits, misses = stats[f"node{nid}"][0], stats[f"node{nid}"][1]
+            assert reg.counter(nid, "rack.machine", "cache.hit") == hits
+            assert reg.counter(nid, "rack.machine", "cache.miss") == misses
+    finally:
+        telemetry.disable()
+        telemetry.reset()

@@ -1,0 +1,16 @@
+"""Telemetry test fixtures: every test in this package starts and ends
+with the process-wide telemetry singleton off and empty, so test order
+(and the rest of the suite) cannot leak metrics across tests."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
