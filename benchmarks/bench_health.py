@@ -1,0 +1,146 @@
+"""Health-engine overhead bench — observation must be free in simulated
+time and cheap in host time.
+
+The health engine's contract (DESIGN.md §9): ticking the windowed
+aggregator + SLO engine + anomaly detectors every step adds **zero
+simulated nanoseconds** (golden latencies are bit-identical with health
+attached) and bounded host overhead (budget: <= 1.1x wall versus the
+same run without a health engine).  This bench runs the identical
+fault-free seeded workload twice — health detached, then attached at
+the deployed cadence (tick every step, window spanning several steps,
+exactly how the chaos campaign runner drives it) — and compares both
+wall time and every node's final simulated clock.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_health.py            # full run
+    PYTHONPATH=src python benchmarks/bench_health.py --smoke    # <5 s sanity run
+
+Writes ``BENCH_health.json`` at the repo root via ``emit_bench_metrics``
+(override with ``--json``).  Exits non-zero if the simulated-time delta
+is not exactly zero — that is a correctness bug, not a perf regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Dict, Tuple
+
+if __name__ == "__main__" and __package__ is None:  # allow running from a checkout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry
+from repro.bench import build_rig
+from repro.bench.harness import emit_bench_metrics
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Deployed cadence: tick every step, windows span several steps.  One
+# fs.read step costs ~4.6us simulated, so a 32.8us window closes a frame
+# roughly every 7 steps — the shape the chaos runner drives in practice.
+_WINDOW_NS = 32768.0
+_QUANTUM_NS = 256.0  # per-step scheduler nudge so idle nodes still progress
+_WALL_BUDGET = 1.1
+
+
+def _run_workload(attach_health: bool, steps: int) -> Tuple[float, Dict[int, float]]:
+    """One seeded fault-free run; returns (wall seconds, final clocks)."""
+    telemetry.disable()
+    telemetry.reset()
+    telemetry.enable()
+    rig = build_rig()
+    kernel = rig.kernel
+    health = None
+    if attach_health:
+        health = kernel.attach_health(window_ns=_WINDOW_NS)
+    fd = kernel.fs.open(rig.c0, "/bench-data", create=True)
+    kernel.fs.write(rig.c0, fd, 0, b"health-bench " * 315)
+
+    t0 = time.perf_counter()
+    for step in range(steps):
+        kernel.fs.read(rig.c0, fd, (step % 4) * 1024, 1024)
+        rig.c0.advance(_QUANTUM_NS)
+        if health is not None:
+            health.tick()
+    wall = time.perf_counter() - t0
+
+    clocks = {n: rig.machine.now(n) for n in rig.machine.nodes}
+    if health is not None:
+        assert health.windows.frames_closed > 0, "bench never closed a window"
+    telemetry.disable()
+    telemetry.reset()
+    return wall, clocks
+
+
+def run(smoke: bool = False) -> Dict[str, object]:
+    steps = 150 if smoke else 2000
+    repeats = 1 if smoke else 3
+    wall_off = min(_run_workload(False, steps)[0] for _ in range(repeats))
+    wall_on = min(_run_workload(True, steps)[0] for _ in range(repeats))
+    _, clocks_off = _run_workload(False, steps)
+    _, clocks_on = _run_workload(True, steps)
+
+    sim_delta = {
+        n: clocks_on[n] - clocks_off[n] for n in sorted(clocks_off)
+    }
+    overhead = wall_on / wall_off if wall_off else float("inf")
+    return {
+        "steps": steps,
+        "window_ns": _WINDOW_NS,
+        "wall_off_s": round(wall_off, 4),
+        "wall_on_s": round(wall_on, 4),
+        "overhead_ratio": round(overhead, 3),
+        "wall_budget": _WALL_BUDGET,
+        "within_wall_budget": overhead <= _WALL_BUDGET,
+        "simulated_ns_delta": sim_delta,
+        "simulated_time_identical": all(d == 0.0 for d in sim_delta.values()),
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    lines = [
+        f"steps={results['steps']} window={results['window_ns']:.0f}ns",
+        f"wall  off={results['wall_off_s']:.4f}s on={results['wall_on_s']:.4f}s "
+        f"overhead={results['overhead_ratio']:.2f}x (budget {results['wall_budget']:.1f}x)",
+        "simulated delta per node: "
+        + " ".join(f"node{n}={d:+.0f}ns" for n, d in results["simulated_ns_delta"].items()),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny step count (<5 s); for CI sanity, not measurement")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="output path (default BENCH_health.json at repo root)")
+    args = ap.parse_args(argv)
+
+    results = run(smoke=args.smoke)
+    print(render(results))
+
+    out = emit_bench_metrics(
+        "health",
+        {"mode": "smoke" if args.smoke else "full", **results},
+        path=args.json,
+    )
+    print(f"wrote {out}")
+
+    if not results["simulated_time_identical"]:
+        print("FAIL: health engine changed simulated time", file=sys.stderr)
+        return 1
+    if not results["within_wall_budget"]:
+        # wall time on shared CI boxes is noisy; report loudly, fail softly
+        print(
+            f"WARN: wall overhead {results['overhead_ratio']:.2f}x exceeds "
+            f"{results['wall_budget']:.1f}x budget",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

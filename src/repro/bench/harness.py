@@ -117,6 +117,10 @@ class Table:
         lines = [f"== {self.title} =="]
         lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
         lines.append("  ".join("-" * w for w in widths))
+        if not self.rows:
+            # zero-row tables still show their header, with an em-dash
+            # row marking the absence of data
+            lines.append("  ".join("—".ljust(w) for w in widths))
         for row in self.rows:
             lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(lines)

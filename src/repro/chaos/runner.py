@@ -86,10 +86,15 @@ class CampaignRunner:
         machine: RackMachine,
         kernel=None,
         driver_node: int = 0,
+        health=None,
     ) -> None:
         self.machine = machine
         self.kernel = kernel
         self.driver_node = driver_node
+        #: Optional :class:`~repro.telemetry.health.HealthEngine`; when
+        #: set, it is ticked after every step (journaling its transitions)
+        #: and told about invariant violations so it dumps the black box.
+        self.health = health if health is not None else getattr(kernel, "health", None)
 
     # -- observables used as triggers --------------------------------------------
 
@@ -147,6 +152,9 @@ class CampaignRunner:
                 lines.append(fired.line())
             if heal and ctx is not None:
                 self._heal_step(ctx, scrub_bytes_per_step)
+            if self.health is not None:
+                for health_line in self.health.tick(self.machine.max_time()):
+                    lines.append(f"step={step} {health_line}")
             report.steps_run = step + 1
 
         # Invariants run with injection masked: a probe read must not
@@ -159,6 +167,8 @@ class CampaignRunner:
                 if violation:
                     report.violations.append(violation)
                     lines.append(f"violation {violation}")
+                    if self.health is not None:
+                        lines.append(self.health.invariant_failed(violation))
         finally:
             self.machine.faults.enabled = was_enabled
 

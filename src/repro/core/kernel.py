@@ -192,6 +192,9 @@ class FlacOS:
             costs=self.costs,
         )
 
+        # active health (repro.telemetry.health); opt-in via attach_health
+        self.health = None
+
         self._node_os: Dict[int, NodeOS] = {
             node_id: NodeOS(self, machine.context(node_id)) for node_id in machine.nodes
         }
@@ -199,6 +202,23 @@ class FlacOS:
     @classmethod
     def boot(cls, machine: RackMachine, costs: Optional[OsCosts] = None) -> "FlacOS":
         return cls(machine, costs=costs)
+
+    def attach_health(self, **kwargs):
+        """Build, wire, and install a :class:`HealthEngine` for this rack.
+
+        Connects the engine to the kernel's own monitor/predictor/recovery
+        so burn alerts and anomalies feed the existing self-healing
+        pipeline (predictor-driven evacuation) and fault-box incidents
+        land in the flight recorder.  Idempotent per kernel.
+        """
+        from ..telemetry.health import HealthEngine
+
+        if self.health is None:
+            kwargs.setdefault("monitor", self.monitor)
+            kwargs.setdefault("predictor", self.predictor)
+            kwargs.setdefault("recovery", self.recovery)
+            self.health = HealthEngine(self.machine, **kwargs).install()
+        return self.health
 
     def node_os(self, node_id: int) -> NodeOS:
         return self._node_os[node_id]

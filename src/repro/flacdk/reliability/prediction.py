@@ -54,6 +54,17 @@ class FailurePredictor:
         ]
         return sorted(risks, key=lambda r: -r.score)
 
+    def boost_page(self, page_addr: int, score: float) -> None:
+        """External evidence (a burn-rate alert, an anomaly detector)
+        marks a page at risk directly.
+
+        The score only ratchets upward — a boost never erases organic
+        CE history — and still decays through :meth:`observe` like any
+        other evidence, so a boosted page that stays quiet ages out.
+        """
+        if score > self._scores.get(page_addr, 0.0):
+            self._scores[page_addr] = score
+
     def reset_page(self, page_addr: int) -> None:
         """Forget a page's history (it was evacuated/retired)."""
         self._scores.pop(page_addr, None)

@@ -98,6 +98,10 @@ class RackMachine:
         self._in_repair = False
         self.repair_max_retries = 3
         self.repair_backoff_ns = 500.0
+        # -- crash hooks (flight recorder et al.) ---------------------------
+        # Called as hook(node_id, now_ns) *after* the node is dead and the
+        # crash is in the fault log, so observers see the final state.
+        self._crash_hooks: List[Callable[[int, float], None]] = []
 
     # -- address helpers -------------------------------------------------------
 
@@ -311,10 +315,16 @@ class RackMachine:
 
     # -- fault management ------------------------------------------------------------------
 
+    def on_crash(self, hook: "Callable[[int, float], None]") -> None:
+        """Register ``hook(node_id, now_ns)`` to run after any node crash."""
+        self._crash_hooks.append(hook)
+
     def crash_node(self, node_id: int) -> None:
         node = self._node(node_id)
         node.crash()
         self.faults.record_node_crash(node_id, now_ns=node.clock.now_ns)
+        for hook in self._crash_hooks:
+            hook(node_id, node.clock.now_ns)
 
     def restart_node(self, node_id: int) -> None:
         node = self._node(node_id)

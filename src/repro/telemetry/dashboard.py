@@ -46,6 +46,10 @@ class _Grid:
         ]
         out = [f"-- {self.title} --"]
         out.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        if not self.rows:
+            # an empty panel still renders: header plus an em-dash row,
+            # so "no data" is visible rather than a vanished table
+            out.append("  ".join("—".ljust(w) for w in widths))
         for row in self.rows:
             out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
         return "\n".join(out)

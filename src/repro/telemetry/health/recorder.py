@@ -1,0 +1,165 @@
+"""The crash flight recorder: bounded recent history, dumped on disaster.
+
+Counters tell you *that* the rack degraded; the flight recorder tells
+you *in what order*.  It keeps a bounded ring of recent window frames,
+alert/anomaly transitions, the tail of the traced spans, and the tail of
+each node's fault log.  When a node crashes, a UE storm lands, or a
+chaos invariant fails, the whole ring is snapshotted to JSON — the
+black box an operator (or ``python -m repro.telemetry.health
+postmortem``) reads after the fact.
+
+Snapshots are deterministic: every field is simulated-time data, keys
+are sorted, and serialisation uses ``sort_keys`` — two same-seed runs
+produce byte-identical dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+from .anomaly import Anomaly
+from .slo import Alert
+from .windows import WindowFrame
+
+#: Schema tag for flight-recorder dumps.
+FLIGHT_SCHEMA = "repro.telemetry.flightrec/1"
+
+
+class FlightRecorder:
+    """Bounded ring buffers of recent health history."""
+
+    def __init__(
+        self,
+        capacity_windows: int = 64,
+        alert_tail: int = 256,
+        anomaly_tail: int = 256,
+        span_tail: int = 128,
+        fault_tail: int = 64,
+    ) -> None:
+        self.capacity_windows = capacity_windows
+        self.span_tail = span_tail
+        self.fault_tail = fault_tail
+        self.frames: Deque[WindowFrame] = deque(maxlen=capacity_windows)
+        self.alert_events: Deque[dict] = deque(maxlen=alert_tail)
+        self.anomalies: Deque[Anomaly] = deque(maxlen=anomaly_tail)
+        self.incidents: Deque[dict] = deque(maxlen=anomaly_tail)
+        # populated by from_snapshot so a loaded dump re-snapshots exactly
+        self._static_spans: List[list] = []
+        self._static_faults: Dict[str, List[dict]] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def record_frame(self, frame: WindowFrame) -> None:
+        self.frames.append(frame)
+
+    def record_alert(self, alert: Alert) -> None:
+        """Record one alert *transition* (fire and resolve are two entries)."""
+        self.alert_events.append(dict(alert.to_dict(), event=alert.state))
+
+    def record_anomaly(self, anomaly: Anomaly) -> None:
+        self.anomalies.append(anomaly)
+
+    def record_incident(self, incident: dict) -> None:
+        """A fault-box recovery incident (blast radius + recoveries)."""
+        self.incidents.append(incident)
+
+    # -- snapshotting ----------------------------------------------------------
+
+    def snapshot(
+        self,
+        reason: str,
+        now_ns: float,
+        machine=None,
+        trace=None,
+    ) -> dict:
+        """The black box as one JSON-ready dict.
+
+        ``machine`` contributes the per-node fault-log tail and ``trace``
+        (a :class:`~repro.telemetry.spans.TraceBuffer`) the span tail;
+        either may be omitted (a recorder rebuilt by
+        :meth:`from_snapshot` replays the tails it was loaded with).
+        """
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "at_ns": now_ns,
+            "windows": [f.to_dict() for f in self.frames],
+            "alerts": list(self.alert_events),
+            "anomalies": [a.to_dict() for a in self.anomalies],
+            "incidents": list(self.incidents),
+            "spans": self._span_tail(trace),
+            "fault_tail": self._fault_log_tail(machine),
+        }
+
+    def dump(
+        self,
+        path: Union[str, pathlib.Path],
+        reason: str,
+        now_ns: float,
+        machine=None,
+        trace=None,
+    ) -> pathlib.Path:
+        path = pathlib.Path(path)
+        snap = self.snapshot(reason, now_ns, machine=machine, trace=trace)
+        path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "FlightRecorder":
+        """Rebuild a recorder from a dump (postmortem / round-trip path)."""
+        if data.get("schema") != FLIGHT_SCHEMA:
+            raise ValueError(
+                f"not a flight-recorder dump (schema={data.get('schema')!r})"
+            )
+        rec = cls()
+        for fdict in data.get("windows", []):
+            rec.frames.append(WindowFrame.from_dict(fdict))
+        rec.alert_events.extend(data.get("alerts", []))
+        for adict in data.get("anomalies", []):
+            rec.anomalies.append(Anomaly.from_dict(adict))
+        rec.incidents.extend(data.get("incidents", []))
+        rec._static_spans = list(data.get("spans", []))
+        rec._static_faults = dict(data.get("fault_tail", {}))
+        return rec
+
+    # -- tails -----------------------------------------------------------------
+
+    def _span_tail(self, trace) -> List[list]:
+        if trace is None or not getattr(trace, "spans", None):
+            return self._static_spans
+        tail = trace.spans[-self.span_tail :]
+        return [
+            [s.name, s.node, s.start_ns, s.end_ns, s.parent_id]
+            for s in tail
+        ]
+
+    def _fault_log_tail(self, machine) -> Dict[str, List[dict]]:
+        if machine is None:
+            return self._static_faults
+        by_node: Dict[str, List[dict]] = {}
+        for event in machine.faults.log.events():
+            node = event.node_id if event.node_id is not None else -1
+            by_node.setdefault(str(node), []).append(
+                {
+                    "kind": event.kind.value,
+                    "time_ns": event.time_ns,
+                    "addr": event.addr,
+                    "detail": event.detail,
+                }
+            )
+        return {
+            node: events[-self.fault_tail :] for node, events in sorted(by_node.items())
+        }
+
+
+def load_dump(path: Union[str, pathlib.Path]) -> dict:
+    """Read and schema-check a flight-recorder dump file."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path}: not a flight-recorder dump (schema={data.get('schema')!r})"
+        )
+    return data

@@ -1,0 +1,254 @@
+"""Windowed aggregation of the metrics registry.
+
+The PR-4 :class:`~repro.telemetry.registry.MetricsRegistry` is cumulative
+— counters only grow, histograms only accumulate.  Health evaluation
+needs *rates*: "how many UEs in the last window", "what was p99 this
+window".  The :class:`WindowAggregator` rolls the cumulative registry
+into fixed simulated-time windows by capturing a monotone baseline at
+every window close and emitting the deltas as a :class:`WindowFrame`.
+
+Everything here is pure observation: the aggregator reads the simulated
+clock (the caller passes ``now_ns``) and never calls ``clock.advance`` —
+closing a window is free in simulated time.  Two runs that record the
+same metrics at the same simulated instants produce identical frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..registry import Histogram, MetricKey, MetricsRegistry, N_BUCKETS
+
+
+@dataclass
+class WindowHist:
+    """One histogram's delta over a window: count, sum, bucket deltas.
+
+    Exact per-window min/max cannot be recovered from cumulative state,
+    so quantiles clamp to the bounds of the occupied delta buckets —
+    the same one-power-of-two accuracy the registry histograms give.
+    """
+
+    count: int
+    total: float
+    buckets: List[int]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return Histogram._bucket_midpoint(idx)
+        return Histogram._bucket_midpoint(N_BUCKETS - 1)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of window samples whose bucket lies above ``threshold``.
+
+        A bucket counts as "above" when its lower bound is >= the
+        threshold, so the answer is conservative (never over-reports
+        violations) and deterministic.
+        """
+        if not self.count:
+            return 0.0
+        above = 0
+        for idx, n in enumerate(self.buckets):
+            if not n:
+                continue
+            lower = 0.0 if idx == 0 else float(1 << (idx - 1))
+            if lower >= threshold:
+                above += n
+        return above / self.count
+
+    def to_list(self) -> list:
+        return [self.count, self.total, {str(i): n for i, n in enumerate(self.buckets) if n}]
+
+    @classmethod
+    def from_list(cls, data: list) -> "WindowHist":
+        buckets = [0] * N_BUCKETS
+        for idx, n in (data[2] or {}).items():
+            buckets[int(idx)] = int(n)
+        return cls(count=int(data[0]), total=float(data[1]), buckets=buckets)
+
+
+@dataclass
+class WindowFrame:
+    """Metric deltas over one closed window span.
+
+    ``index`` is the fixed window grid slot the frame *starts* at
+    (``start_ns = index * window_ns``); ``windows`` is how many grid
+    slots the frame spans (> 1 when the clock jumped several windows
+    between ticks).  Rates are normalised per single window so a long
+    frame does not masquerade as a burst.
+    """
+
+    index: int
+    start_ns: float
+    end_ns: float
+    windows: int
+    counters: Dict[MetricKey, float] = field(default_factory=dict)
+    gauges: Dict[MetricKey, float] = field(default_factory=dict)
+    hists: Dict[MetricKey, WindowHist] = field(default_factory=dict)
+
+    # -- per-window queries ----------------------------------------------------
+    #
+    # A closed frame is immutable; the first metric query builds a
+    # (subsystem, name) -> {node: delta} index so the SLO engine's seven
+    # objectives cost one counter scan per frame, not seven.
+
+    def _by_metric(self) -> Dict[Tuple[str, str], Dict[int, float]]:
+        index = getattr(self, "_metric_index", None)
+        if index is None:
+            index = {}
+            for (node, sub, name), value in self.counters.items():
+                index.setdefault((sub, name), {})[node] = value
+            self._metric_index = index
+        return index
+
+    def delta(self, node: int, subsystem: str, name: str) -> float:
+        return self.counters.get((node, subsystem, name), 0.0)
+
+    def delta_total(self, subsystem: str, name: str) -> float:
+        """Sum of one counter's delta across every node."""
+        return sum(self.per_node(subsystem, name).values())
+
+    def rate(self, node: int, subsystem: str, name: str) -> float:
+        """Counter delta normalised to events per single window."""
+        return self.delta(node, subsystem, name) / self.windows
+
+    def rate_total(self, subsystem: str, name: str) -> float:
+        return self.delta_total(subsystem, name) / self.windows
+
+    def per_node(self, subsystem: str, name: str) -> Dict[int, float]:
+        """Node -> delta for one counter (shared index dict: treat as read-only)."""
+        return self._by_metric().get((subsystem, name), {})
+
+    def hist(self, node: int, subsystem: str, name: str) -> Optional[WindowHist]:
+        return self.hists.get((node, subsystem, name))
+
+    def hist_merged(self, subsystem: str, name: str) -> Optional[WindowHist]:
+        merged: Optional[WindowHist] = None
+        for (n, s, m), h in self.hists.items():
+            if s != subsystem or m != name:
+                continue
+            if merged is None:
+                merged = WindowHist(0, 0.0, [0] * N_BUCKETS)
+            merged.count += h.count
+            merged.total += h.total
+            for i, c in enumerate(h.buckets):
+                merged.buckets[i] += c
+        return merged
+
+    # -- export (flight recorder / postmortem) ---------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "windows": self.windows,
+            "counters": [[k[0], k[1], k[2], v] for k, v in sorted(self.counters.items())],
+            "gauges": [[k[0], k[1], k[2], v] for k, v in sorted(self.gauges.items())],
+            "hists": [
+                [k[0], k[1], k[2], h.to_list()] for k, h in sorted(self.hists.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowFrame":
+        frame = cls(
+            index=int(data["index"]),
+            start_ns=float(data["start_ns"]),
+            end_ns=float(data["end_ns"]),
+            windows=int(data["windows"]),
+        )
+        for node, sub, name, v in data.get("counters", []):
+            frame.counters[(node, sub, name)] = v
+        for node, sub, name, v in data.get("gauges", []):
+            frame.gauges[(node, sub, name)] = v
+        for node, sub, name, hlist in data.get("hists", []):
+            frame.hists[(node, sub, name)] = WindowHist.from_list(hlist)
+        return frame
+
+
+class WindowAggregator:
+    """Rolls a cumulative registry into fixed simulated-time windows.
+
+    ``tick(now_ns)`` is the only entry point: the first call anchors the
+    baseline; every later call that finds the clock in a new window
+    closes the span since the last close and returns the frame.  Ticks
+    within the same window return nothing and cost one division.
+    """
+
+    def __init__(self, registry: MetricsRegistry, window_ns: float = 1e6) -> None:
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {window_ns}")
+        self.registry = registry
+        self.window_ns = window_ns
+        self.frames_closed = 0
+        self._open_index: Optional[int] = None
+        self._base_counters: Dict[MetricKey, float] = {}
+        self._base_hists: Dict[MetricKey, Tuple[int, float, Tuple[int, ...]]] = {}
+
+    def window_index(self, now_ns: float) -> int:
+        return int(now_ns // self.window_ns)
+
+    def tick(self, now_ns: float) -> Optional[WindowFrame]:
+        """Close the open window span if ``now_ns`` has moved past it."""
+        w = self.window_index(now_ns)
+        if self._open_index is None:
+            self._open_index = w
+            self._capture_baseline()
+            return None
+        if w <= self._open_index:
+            return None
+        frame = self._close(self._open_index, w)
+        self._open_index = w
+        self._capture_baseline()
+        self.frames_closed += 1
+        return frame
+
+    # -- internals -------------------------------------------------------------
+
+    def _capture_baseline(self) -> None:
+        reg = self.registry
+        self._base_counters = dict(reg.counters)
+        self._base_hists = {
+            k: (h.count, h.total, tuple(h.buckets)) for k, h in reg.histograms.items()
+        }
+
+    def _close(self, start_index: int, end_index: int) -> WindowFrame:
+        reg = self.registry
+        frame = WindowFrame(
+            index=start_index,
+            start_ns=start_index * self.window_ns,
+            end_ns=end_index * self.window_ns,
+            windows=end_index - start_index,
+        )
+        base = self._base_counters
+        for key, value in reg.counters.items():
+            delta = value - base.get(key, 0.0)
+            if delta:
+                frame.counters[key] = delta
+        frame.gauges = dict(reg.gauges)
+        base_h = self._base_hists
+        for key, hist in reg.histograms.items():
+            b_count, b_total, b_buckets = base_h.get(key, (0, 0.0, None))
+            d_count = hist.count - b_count
+            if not d_count:
+                continue
+            if b_buckets is None:
+                buckets = list(hist.buckets)
+            else:
+                buckets = [n - b_buckets[i] for i, n in enumerate(hist.buckets)]
+            frame.hists[key] = WindowHist(d_count, hist.total - b_total, buckets)
+        return frame

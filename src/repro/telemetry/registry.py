@@ -86,10 +86,14 @@ class Histogram:
         Returns the geometric midpoint of the bucket containing the
         quantile rank, clamped to the exact observed min/max — good to
         within one power of two, which is all a log-scale latency
-        breakdown needs.
+        breakdown needs.  An empty histogram reports ``0.0`` (a NaN here
+        poisons downstream arithmetic and serialises as ``null``);
+        ``q`` outside ``(0, 1]`` is a caller bug and raises.
         """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
         if not self.count:
-            return float("nan")
+            return 0.0
         rank = max(1, int(q * self.count + 0.999999))
         seen = 0
         for idx, n in enumerate(self.buckets):

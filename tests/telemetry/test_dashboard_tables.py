@@ -1,0 +1,40 @@
+"""Zero-row table rendering: a panel with no data must still render its
+header plus an em-dash row instead of crashing or vanishing."""
+
+from repro.bench.harness import Table
+from repro.telemetry.dashboard import _Grid
+
+
+class TestGridZeroRows:
+    def test_empty_grid_renders_header_and_emdash_row(self):
+        grid = _Grid("empty panel", ["node", "hits", "misses"])
+        out = grid.render()
+        lines = out.splitlines()
+        assert lines[0] == "-- empty panel --"
+        assert "node" in lines[1] and "misses" in lines[1]
+        assert lines[2].split() == ["—", "—", "—"]
+        assert len(lines) == 3
+
+    def test_populated_grid_has_no_emdash_row(self):
+        grid = _Grid("panel", ["a", "b"])
+        grid.add("1", "2")
+        out = grid.render()
+        assert "—" not in out
+        assert out.splitlines()[-1].split() == ["1", "2"]
+
+
+class TestBenchTableZeroRows:
+    def test_empty_table_renders_header_and_emdash_row(self):
+        table = Table("results", ["bench", "ns/op", "speedup"])
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "== results =="
+        assert "bench" in lines[1]
+        assert set(lines[2]) <= {"-", " "}  # the rule row
+        assert lines[3].split() == ["—", "—", "—"]
+        assert len(lines) == 4
+
+    def test_populated_table_has_no_emdash_row(self):
+        table = Table("results", ["bench", "ns"])
+        table.add_row("x", 1.0)
+        assert "—" not in table.render()

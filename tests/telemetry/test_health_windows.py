@@ -1,0 +1,144 @@
+"""Windowed aggregation: fixed simulated-time windows over the
+cumulative registry, with zero clock interaction."""
+
+import json
+
+import pytest
+
+from repro.telemetry.health import WindowAggregator, WindowFrame, WindowHist
+from repro.telemetry.registry import N_BUCKETS, RACK_WIDE, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestAggregator:
+    def test_first_tick_anchors_no_frame(self, reg):
+        agg = WindowAggregator(reg, window_ns=1000.0)
+        assert agg.tick(150.0) is None
+        assert agg.frames_closed == 0
+
+    def test_same_window_ticks_are_free(self, reg):
+        agg = WindowAggregator(reg, window_ns=1000.0)
+        agg.tick(100.0)
+        reg.inc(0, "s", "c", 3)
+        assert agg.tick(900.0) is None  # still window 0
+
+    def test_crossing_boundary_closes_delta_frame(self, reg):
+        agg = WindowAggregator(reg, window_ns=1000.0)
+        agg.tick(100.0)
+        reg.inc(0, "s", "c", 3)
+        reg.inc(1, "s", "c", 2)
+        frame = agg.tick(1100.0)
+        assert frame is not None
+        assert frame.index == 0 and frame.windows == 1
+        assert frame.start_ns == 0.0 and frame.end_ns == 1000.0
+        assert frame.delta(0, "s", "c") == 3
+        assert frame.delta_total("s", "c") == 5
+        # next window sees only new increments
+        reg.inc(0, "s", "c", 4)
+        frame2 = agg.tick(2100.0)
+        assert frame2.delta_total("s", "c") == 4
+
+    def test_clock_jump_spans_multiple_windows_and_normalises_rate(self, reg):
+        agg = WindowAggregator(reg, window_ns=1000.0)
+        agg.tick(0.0)
+        reg.inc(0, "s", "c", 10)
+        frame = agg.tick(5500.0)  # jumped 5 windows
+        assert frame.windows == 5
+        assert frame.delta_total("s", "c") == 10
+        assert frame.rate_total("s", "c") == pytest.approx(2.0)
+
+    def test_histogram_window_delta(self, reg):
+        agg = WindowAggregator(reg, window_ns=1000.0)
+        agg.tick(0.0)
+        for v in (4.0, 4.0, 1000.0):
+            reg.observe(0, "s", "lat", v)
+        frame = agg.tick(1500.0)
+        h = frame.hist(0, "s", "lat")
+        assert h.count == 3
+        assert h.total == 1008.0
+        # only this window's samples appear in the next frame
+        reg.observe(0, "s", "lat", 2.0)
+        frame2 = agg.tick(2500.0)
+        assert frame2.hist(0, "s", "lat").count == 1
+
+    def test_rejects_nonpositive_window(self, reg):
+        with pytest.raises(ValueError, match="window_ns"):
+            WindowAggregator(reg, window_ns=0.0)
+
+    def test_aggregation_never_touches_clocks(self):
+        from repro.bench import build_rig
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            rig = build_rig()
+            agg = WindowAggregator(telemetry.TELEMETRY.registry, window_ns=500.0)
+            rig.c0.advance(10_000.0)
+            before = {n: rig.machine.now(n) for n in rig.machine.nodes}
+            for i in range(20):
+                agg.tick(rig.machine.max_time() + i * 500.0)
+            after = {n: rig.machine.now(n) for n in rig.machine.nodes}
+            assert before == after  # 0 simulated ns: pure observation
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+
+class TestWindowHist:
+    def _hist(self, values):
+        h = WindowHist(0, 0.0, [0] * N_BUCKETS)
+        from repro.telemetry.registry import bucket_index
+
+        for v in values:
+            h.count += 1
+            h.total += v
+            h.buckets[bucket_index(v)] += 1
+        return h
+
+    def test_percentile_validates_quantile(self):
+        h = self._hist([4.0])
+        for bad in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError, match="quantile"):
+                h.percentile(bad)
+
+    def test_percentile_empty_is_zero(self):
+        h = WindowHist(0, 0.0, [0] * N_BUCKETS)
+        assert h.percentile(0.99) == 0.0
+
+    def test_fraction_above_is_conservative(self):
+        h = self._hist([2.0, 2.0, 1024.0, 4096.0])
+        # bucket lower bounds decide: 1024 and 4096 land in buckets
+        # whose lower bounds (512, 2048) are >= the 512 threshold
+        assert h.fraction_above(512.0) == pytest.approx(0.5)
+        assert h.fraction_above(2048.0) == pytest.approx(0.25)
+        assert h.fraction_above(1e9) == 0.0
+        assert h.fraction_above(0.0) == 1.0
+
+    def test_list_round_trip(self):
+        h = self._hist([2.0, 300.0, 300.0])
+        h2 = WindowHist.from_list(json.loads(json.dumps(h.to_list())))
+        assert h2.count == h.count
+        assert h2.total == h.total
+        assert h2.buckets == h.buckets
+
+
+class TestFrameRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, reg):
+        agg = WindowAggregator(reg, window_ns=1000.0)
+        agg.tick(0.0)
+        reg.inc(0, "s", "c", 3)
+        reg.inc(RACK_WIDE, "s", "c", 1)
+        reg.set_gauge(1, "s", "g", 7.5)
+        reg.observe(0, "s", "lat", 128.0)
+        frame = agg.tick(1500.0)
+        frame2 = WindowFrame.from_dict(json.loads(json.dumps(frame.to_dict())))
+        assert frame2.index == frame.index
+        assert frame2.counters == frame.counters
+        assert frame2.gauges == frame.gauges
+        assert frame2.hist(0, "s", "lat").count == 1
+        assert frame2.to_dict() == frame.to_dict()

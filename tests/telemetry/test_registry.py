@@ -62,9 +62,22 @@ class TestHistogram:
         # log-bucket estimate is good to within one power of two
         assert h.percentile(0.5) == pytest.approx(500.0, rel=1.0)
 
-    def test_empty_histogram_percentile_is_nan(self):
+    def test_empty_histogram_percentile_is_zero(self):
+        # 0.0, not NaN: NaN poisons downstream arithmetic and serialises
+        # as null in JSON exports
         h = Histogram()
-        assert h.percentile(0.5) != h.percentile(0.5)  # NaN
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 0.0
+
+    def test_percentile_rejects_out_of_range_quantile(self):
+        h = Histogram()
+        h.observe(5.0)
+        for bad_q in (0.0, -0.1, 1.0001, 2.0):
+            with pytest.raises(ValueError, match="quantile"):
+                h.percentile(bad_q)
+        # the edges of (0, 1] are legal
+        assert h.percentile(1.0) >= h.min_value
+        assert h.percentile(1e-9) >= h.min_value
 
     def test_dict_round_trip(self):
         h = Histogram()
