@@ -30,6 +30,8 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 if __name__ == "__main__" and __package__ is None:  # allow running from a checkout
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
@@ -53,16 +55,28 @@ BASELINE_OPS_PER_SEC: Dict[str, float] = {
     "atomic_fetch_add": 193410.2,
     "flush_line": 87567.7,
     "mixed_90_10": 307905.8,
+    # bulk rows: the loop-of-single-ops equivalent of each batch body,
+    # measured just before the batched data plane landed (ISSUE 6) — the
+    # "pre-batching" trajectory point for the same logical work
+    "bulk_load_1k": 438148.2,
+    "bulk_store_1k": 489316.5,
+    "scatter_gather_64": 468520.7,
+    "batched_fetch_add": 239890.6,
+    "cached_bulk_load_1k": 803640.8,
 }
 
 
 def _bench(name: str, ops: int, setup: Callable[[], Callable[[int], None]],
-           machine_holder: list, repeats: int = 3) -> Dict[str, float]:
+           machine_holder: list, repeats: int = 3, unit: int = 1) -> Dict[str, float]:
     """Best-of-``repeats`` timing of ``ops`` iterations of ``setup()``'s body.
 
     Each repeat rebuilds the machine from scratch (``setup`` appends it to
     ``machine_holder``), so the simulated time charged is deterministic and
     identical across repeats; the best wall time damps scheduler noise.
+
+    ``unit`` is the number of logical data-plane operations one body call
+    performs (a bulk body issuing a 1024-address batch has ``unit=1024``),
+    so ops/sec and ns/op stay comparable with the single-op rows.
     """
     best_wall = float("inf")
     sim_charged = 0.0
@@ -77,11 +91,12 @@ def _bench(name: str, ops: int, setup: Callable[[], Callable[[int], None]],
         sim_charged = machine.max_time() - sim_before
         best_wall = min(best_wall, wall)
     wall = best_wall
+    total = ops * unit
     return {
-        "ops": ops,
+        "ops": total,
         "wall_s": round(wall, 6),
-        "ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
-        "ns_per_op": round(wall * 1e9 / ops, 1) if ops else 0.0,
+        "ops_per_sec": round(total / wall, 1) if wall > 0 else float("inf"),
+        "ns_per_op": round(wall * 1e9 / total, 1) if total else 0.0,
         "sim_ns_charged": round(sim_charged, 3),
     }
 
@@ -96,8 +111,8 @@ def run(smoke: bool = False) -> Dict[str, Dict[str, float]]:
     line = 64
     hot_lines = 256  # fits comfortably in the 4096-line cache
 
-    def _bench_s(name, ops, setup):
-        return _bench(name, ops, setup, holder, repeats=repeats)
+    def _bench_s(name, ops, setup, unit=1):
+        return _bench(name, max(1, ops), setup, holder, repeats=repeats, unit=unit)
 
     def fresh(**kw) -> RackMachine:
         if smoke:  # small devices: machine build is dominated by zeroing
@@ -201,6 +216,95 @@ def run(smoke: bool = False) -> Dict[str, Dict[str, float]]:
 
     results["mixed_90_10"] = _bench_s("mixed_90_10", 200_000 // scale, setup_mixed)
 
+    # -- bulk data plane (ISSUE 6): one call, many operations ---------------
+    batch = 1024
+
+    def setup_bulk_load():
+        m = fresh()
+        g = m.global_base
+        addrs = g + np.arange(batch, dtype=np.int64) * line
+        return lambda i: m.load_many(0, addrs, 8, bypass_cache=True, concat=True)
+
+    results["bulk_load_1k"] = _bench_s(
+        "bulk_load_1k", 400 // scale, setup_bulk_load, unit=batch)
+
+    def setup_bulk_store():
+        m = fresh()
+        g = m.global_base
+        addrs = g + np.arange(batch, dtype=np.int64) * line
+        packed = b"\xa5" * (8 * batch)
+        return lambda i: m.store_many(0, addrs, packed, bypass_cache=True, size=8)
+
+    results["bulk_store_1k"] = _bench_s(
+        "bulk_store_1k", 400 // scale, setup_bulk_store, unit=batch)
+
+    # gather 64 scattered lines, scatter them to a disjoint destination
+    def setup_scatter_gather():
+        m = fresh()
+        g = m.global_base
+        stride = 7 * line  # scattered, non-contiguous sources
+        srcs = g + np.arange(64, dtype=np.int64) * stride
+        dst0 = g + m.global_size // 2
+        dsts = dst0 + np.arange(64, dtype=np.int64) * line
+
+        def body(i):
+            rows = m.load_many(0, srcs, line, bypass_cache=True)
+            m.store_many(0, dsts, rows, bypass_cache=True)
+
+        return body
+
+    results["scatter_gather_64"] = _bench_s(
+        "scatter_gather_64", 2000 // scale, setup_scatter_gather, unit=128)
+
+    def setup_batched_fetch_add():
+        m = fresh()
+        g = m.global_base
+        addrs = g + np.arange(batch, dtype=np.int64) * 8
+        return lambda i: m.atomic_fetch_add_many(0, addrs, 1)
+
+    results["batched_fetch_add"] = _bench_s(
+        "batched_fetch_add", 200 // scale, setup_batched_fetch_add, unit=batch)
+
+    # cached bulk path (fused hit loop) — supplementary: bounded by bytes
+    # materialisation, so expect single-digit speedups, not 10x
+    def setup_cached_bulk_load():
+        m = fresh()
+        g = m.global_base
+        for i in range(hot_lines):
+            m.load(0, g + i * line, 8)
+        addrs = [g + (j % hot_lines) * line for j in range(batch)]
+        return lambda i: m.load_many(0, addrs, 8)
+
+    results["cached_bulk_load_1k"] = _bench_s(
+        "cached_bulk_load_1k", 200 // scale, setup_cached_bulk_load, unit=batch)
+
+    # telemetry-enabled variant: same body as bulk_load_1k; the aggregated
+    # one-record-per-batch accounting must keep wall overhead ~1x and the
+    # simulated charge identical
+    def setup_bulk_load_telemetry():
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.enable()
+        m = fresh()
+        g = m.global_base
+        addrs = g + np.arange(batch, dtype=np.int64) * line
+
+        def body(i):
+            m.load_many(0, addrs, 8, bypass_cache=True, concat=True)
+
+        return body
+
+    try:
+        results["bulk_load_1k_telemetry"] = _bench_s(
+            "bulk_load_1k_telemetry", 400 // scale, setup_bulk_load_telemetry,
+            unit=batch)
+    finally:
+        from repro import telemetry
+
+        telemetry.disable()
+        telemetry.reset()
+
     return results
 
 
@@ -218,6 +322,64 @@ def render(results: Dict[str, Dict[str, float]],
     return "\n".join(rows)
 
 
+#: (bulk row, single-op row it must beat) — the ISSUE 6 acceptance pairs.
+BULK_VS_SINGLE = (
+    ("bulk_load_1k", "cached_load_hot"),
+    ("bulk_store_1k", "cached_store_hot"),
+    ("batched_fetch_add", "atomic_fetch_add"),
+)
+
+#: CI smoke gate: each bulk row must run at least this many times faster
+#: (per element) than its single-op counterpart.
+SMOKE_MIN_BULK_SPEEDUP = 3.0
+
+
+def bulk_speedups(results: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Per-element speedup of each bulk row over its single-op pair."""
+    out: Dict[str, float] = {}
+    for bulk, single in BULK_VS_SINGLE:
+        if bulk in results and single in results:
+            base = results[single]["ops_per_sec"]
+            if base:
+                out[bulk] = round(results[bulk]["ops_per_sec"] / base, 2)
+    return out
+
+
+def telemetry_overhead(results: Dict[str, Dict[str, float]]) -> Optional[dict]:
+    """Wall-clock ratio and simulated-ns delta of the telemetry variant."""
+    plain = results.get("bulk_load_1k")
+    tel = results.get("bulk_load_1k_telemetry")
+    if not plain or not tel or not plain["wall_s"]:
+        return None
+    return {
+        "workload": "bulk_load_1k",
+        "wall_overhead": round(tel["wall_s"] / plain["wall_s"], 3),
+        "sim_ns_delta": round(tel["sim_ns_charged"] - plain["sim_ns_charged"], 3),
+    }
+
+
+def check_gate(results: Dict[str, Dict[str, float]]) -> list:
+    """The perf-smoke failures, as printable strings (empty = pass)."""
+    failures = []
+    speedups = bulk_speedups(results)
+    for bulk, single in BULK_VS_SINGLE:
+        ratio = speedups.get(bulk)
+        if ratio is None:
+            failures.append(f"gate: missing row for {bulk} vs {single}")
+        elif ratio < SMOKE_MIN_BULK_SPEEDUP:
+            failures.append(
+                f"gate: {bulk} is only {ratio:.2f}x {single} "
+                f"(need >= {SMOKE_MIN_BULK_SPEEDUP:.1f}x)"
+            )
+    tel = telemetry_overhead(results)
+    if tel is not None and tel["sim_ns_delta"] != 0.0:
+        failures.append(
+            f"gate: telemetry changed simulated time by {tel['sim_ns_delta']} ns "
+            "(must be 0)"
+        )
+    return failures
+
+
 def build_report(results: Dict[str, Dict[str, float]], mode: str) -> dict:
     baseline = {k: v for k, v in BASELINE_OPS_PER_SEC.items() if v}
     speedup = {
@@ -232,11 +394,15 @@ def build_report(results: Dict[str, Dict[str, float]], mode: str) -> dict:
         "workloads": results,
         "baseline_ops_per_sec": baseline,
         "speedup_vs_baseline": speedup,
+        "bulk_speedup_vs_single": bulk_speedups(results),
+        "telemetry_overhead": telemetry_overhead(results),
         "note": (
             "baseline_ops_per_sec was recorded at the seed commit (pre fast-path) "
-            "with identical workload bodies; compare ratios, not absolute rates, "
+            "with identical workload bodies; bulk rows use the loop-of-single-ops "
+            "equivalent as their baseline.  Compare ratios, not absolute rates, "
             "across machines.  sim_ns_charged must be invariant across data-plane "
-            "optimizations (see tests/rack/test_golden_latency.py)."
+            "optimizations (see tests/rack/test_golden_latency.py and "
+            "tests/rack/test_bulk_dataplane.py)."
         ),
     }
 
@@ -265,6 +431,12 @@ def main(argv=None) -> int:
 
     report = build_report(results, mode)
     print(render(results, report["baseline_ops_per_sec"]))
+    for bulk, ratio in report["bulk_speedup_vs_single"].items():
+        print(f"bulk: {bulk} = {ratio:.2f}x its single-op row")
+    tel = report["telemetry_overhead"]
+    if tel is not None:
+        print(f"telemetry: {tel['wall_overhead']:.3f}x wall on {tel['workload']}, "
+              f"sim delta {tel['sim_ns_delta']} ns")
 
     out = args.json
     if out is None and not args.smoke:
@@ -272,7 +444,13 @@ def main(argv=None) -> int:
     if out is not None:
         out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {out}")
-    return 0
+
+    failures = check_gate(results)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    # the gate is a hard failure in smoke mode (the CI perf lane); full runs
+    # report it but still write the JSON so regressions are inspectable
+    return 1 if (failures and args.smoke) else 0
 
 
 if __name__ == "__main__":

@@ -96,16 +96,26 @@ class MiniRedisServer:
         self._transports.append(transport)
 
     def serve_pending(self) -> int:
-        """Handle every queued request on every attached transport."""
+        """Handle every queued request on every attached transport.
+
+        A frame may carry many pipelined commands; all their replies go
+        back as one concatenated frame, so a batch costs one transport
+        round trip in each direction instead of one per command.
+        """
         served = 0
         for transport in self._transports:
             while True:
                 raw = transport.recv(self.ctx)
                 if raw is None:
                     break
-                reply = self.execute(resp.decode_command(raw))
-                transport.send(self.ctx, resp.encode_reply(reply))
-                served += 1
+                commands = resp.decode_commands(raw)
+                if not commands:
+                    continue
+                replies = b"".join(
+                    resp.encode_reply(self.execute(command)) for command in commands
+                )
+                transport.send(self.ctx, replies)
+                served += len(commands)
         return served
 
     # -- command execution -------------------------------------------------------------
@@ -268,12 +278,19 @@ class MiniRedisClient:
         reply = self.request(*parts)
         return reply, self.ctx.now() - start
 
+    #: Commands packed per transport frame when pipelining.  Large enough
+    #: to amortise the per-frame transport cost, small enough that a frame
+    #: of typical commands stays well under the IPC buffer-pool slab size.
+    PIPELINE_CHUNK = 64
+
     def pipeline(self, commands: List[Tuple[bytes, ...]]) -> List[Any]:
         """Issue many commands before reading any reply (Redis pipelining).
 
-        Amortises the per-request round trip: the transport carries a
-        batch in flight, the server drains it in one poll, and replies
-        stream back.  Returns the decoded replies in order.
+        Amortises the per-request round trip *and* the per-frame
+        transport cost: commands are packed ``PIPELINE_CHUNK`` to a
+        frame, the server drains each frame in one poll and replies with
+        one concatenated frame per request frame.  Returns the decoded
+        replies in order.
         """
         backlog: List[Tuple[bytes, ...]] = list(commands)
         sent = 0
@@ -281,21 +298,22 @@ class MiniRedisClient:
         while len(replies) < len(commands):
             # fill the transport until it pushes back or we run dry
             while backlog:
+                chunk = backlog[: self.PIPELINE_CHUNK]
                 try:
-                    self.transport.send(self.ctx, resp.encode_command(*backlog[0]))
+                    self.transport.send(self.ctx, resp.encode_commands(chunk))
                 except RuntimeError:
                     break  # ring full: drain some replies first
-                backlog.pop(0)
-                sent += 1
+                del backlog[: len(chunk)]
+                sent += len(chunk)
             self.server.serve_pending()
             while len(replies) < sent:
                 raw = self.transport.recv(self.ctx)
                 if raw is None:
                     break
-                reply, _ = resp.decode(raw)
-                if isinstance(reply, Exception):
-                    raise resp.RedisError(str(reply))
-                replies.append(reply)
+                for reply in resp.decode_replies(raw):
+                    if isinstance(reply, Exception):
+                        raise resp.RedisError(str(reply))
+                    replies.append(reply)
         return replies
 
     def timed_pipeline(self, commands: List[Tuple[bytes, ...]]) -> Tuple[List[Any], float]:

@@ -7,7 +7,7 @@ as simple strings, errors, integers, bulk strings, or arrays.
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, Iterable, List, Sequence, Tuple
 
 CRLF = b"\r\n"
 
@@ -89,6 +89,36 @@ def decode_command(data: bytes) -> List[bytes]:
     if not isinstance(value, list) or not all(isinstance(v, bytes) for v in value):
         raise RespError("commands must be arrays of bulk strings")
     return value
+
+
+def encode_commands(commands: Iterable[Sequence[bytes]]) -> bytes:
+    """Pack many commands into one pipelined frame (RESP concatenation)."""
+    return b"".join(encode_command(*command) for command in commands)
+
+
+def decode_commands(data: bytes) -> List[List[bytes]]:
+    """Decode every command in a pipelined frame, in order.
+
+    A frame holding one command decodes exactly like
+    :func:`decode_command`, so unbatched clients are unaffected.
+    """
+    commands: List[List[bytes]] = []
+    while data:
+        value, data = decode(data)
+        if not isinstance(value, list) or not all(isinstance(v, bytes) for v in value):
+            raise RespError("commands must be arrays of bulk strings")
+        commands.append(value)
+    return commands
+
+
+def decode_replies(data: bytes) -> List[Any]:
+    """Decode every reply in a frame (the server batches one frame per
+    request frame, so replies arrive concatenated)."""
+    replies: List[Any] = []
+    while data:
+        value, data = decode(data)
+        replies.append(value)
+    return replies
 
 
 def _take_line(data: bytes) -> Tuple[bytes, bytes]:

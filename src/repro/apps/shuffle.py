@@ -22,6 +22,8 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.fs import FlacFS
 from ..flacdk.structures import stable_hash
 from ..net.serialization import Serializer
@@ -32,28 +34,51 @@ Record = Tuple[bytes, bytes]
 
 
 def encode_records(records: Sequence[Record]) -> bytes:
-    """Length-prefixed spill encoding (what real shuffles write)."""
-    out = bytearray(struct.pack("<I", len(records)))
-    for key, value in records:
-        out += struct.pack("<II", len(key), len(value))
-        out += key
-        out += value
-    return bytes(out)
+    """Columnar spill encoding: count, key lengths, value lengths, then
+    all keys concatenated, then all values.
+
+    Grouping the fixed-width headers lets the decoder parse every length
+    with one ``np.frombuffer`` and locate every record with one cumulative
+    sum instead of a per-record ``struct.unpack`` walk; the payload is two
+    ``join`` calls.  The format is private to this module (spills are
+    written and read by the same shuffle), so only the round trip matters.
+    """
+    count = len(records)
+    if count == 0:
+        return struct.pack("<I", 0)
+    klens = np.fromiter((len(k) for k, _ in records), dtype="<u4", count=count)
+    vlens = np.fromiter((len(v) for _, v in records), dtype="<u4", count=count)
+    return b"".join(
+        (
+            struct.pack("<I", count),
+            klens.tobytes(),
+            vlens.tobytes(),
+            b"".join(k for k, _ in records),
+            b"".join(v for _, v in records),
+        )
+    )
 
 
 def decode_records(data: bytes) -> List[Record]:
     (count,) = struct.unpack_from("<I", data, 0)
-    pos = 4
-    records: List[Record] = []
-    for _ in range(count):
-        klen, vlen = struct.unpack_from("<II", data, pos)
-        pos += 8
-        key = data[pos : pos + klen]
-        pos += klen
-        value = data[pos : pos + vlen]
-        pos += vlen
-        records.append((key, value))
-    return records
+    if count == 0:
+        return []
+    klens = np.frombuffer(data, dtype="<u4", count=count, offset=4)
+    vlens = np.frombuffer(data, dtype="<u4", count=count, offset=4 + 4 * count)
+    kstarts = np.empty(count + 1, dtype=np.int64)
+    kstarts[0] = 4 + 8 * count
+    np.cumsum(klens, out=kstarts[1:])
+    kstarts[1:] += kstarts[0]
+    vstarts = np.empty(count + 1, dtype=np.int64)
+    vstarts[0] = kstarts[count]
+    np.cumsum(vlens, out=vstarts[1:])
+    vstarts[1:] += vstarts[0]
+    ks = kstarts.tolist()
+    vs = vstarts.tolist()
+    return [
+        (data[ks[i] : ks[i + 1]], data[vs[i] : vs[i + 1]])
+        for i in range(count)
+    ]
 
 
 def partition_of(key: bytes, n_partitions: int) -> int:

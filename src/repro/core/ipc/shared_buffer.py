@@ -3,9 +3,9 @@
 Payloads are written once into global memory by the sender and read in
 place by the receiver — no kernel copies, no wire.  What travels through
 the control ring is a 16-byte descriptor.  The access pattern is
-streaming (producer writes, flushes; consumer invalidates, reads), which
-is exactly the case the paper calls easy to synchronise on non-coherent
-memory.
+streaming (producer stores non-temporally, consumer invalidates and
+reads in place), which is exactly the case the paper calls easy to
+synchronise on non-coherent memory.
 """
 
 from __future__ import annotations
@@ -45,21 +45,31 @@ class BufferPool:
         self.bytes_written = 0
 
     def put(self, ctx: NodeContext, data: bytes) -> BufferRef:
-        """Write ``data`` into a fresh shared buffer and publish it."""
+        """Write ``data`` into a fresh shared buffer and publish it.
+
+        The write is non-temporal (``bypass_cache``): the payload goes
+        straight to global memory in one burst, so nothing needs flushing
+        afterwards and the sender's cache is not polluted by bytes it
+        will never touch again.
+        """
         addr = self.heap.alloc(ctx, max(1, len(data)))
         if data:
-            ctx.store(addr, data)
-            ctx.flush(addr, len(data))
+            ctx.store(addr, data, bypass_cache=True)
         self.live_buffers += 1
         self.bytes_written += len(data)
         return BufferRef(addr, len(data))
 
     def get(self, ctx: NodeContext, ref: BufferRef) -> bytes:
-        """Read a published buffer in place (drops stale local lines)."""
+        """Read a published buffer in place (drops stale local lines).
+
+        The read is likewise non-temporal: after invalidating any stale
+        lines, the payload streams from global memory without displacing
+        the receiver's working set.
+        """
         if ref.length == 0:
             return b""
         ctx.invalidate(ref.addr, ref.length)
-        return ctx.load(ref.addr, ref.length)
+        return ctx.load(ref.addr, ref.length, bypass_cache=True)
 
     def free(self, ctx: NodeContext, ref: BufferRef) -> None:
         self.heap.free(ctx, ref.addr)

@@ -21,7 +21,9 @@ Hardware contract reproduced from the paper (§2.1):
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from .cache import NodeCache
 from .faults import FaultInjector
@@ -29,6 +31,7 @@ from .interconnect import Interconnect, node_vertex
 from .memory import (
     AddressMap,
     MemoryKind,
+    MemoryError_,
     PhysicalMemory,
     ProtectionError,
     Region,
@@ -42,6 +45,7 @@ from ..telemetry import TELEMETRY as _TEL
 
 
 _INT_FMT = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+_INT_DTYPE = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
 
 #: Telemetry subsystem for the data plane (metric naming convention:
 #: DESIGN.md §8).  Cache hit/miss accounting is routed through these
@@ -161,7 +165,7 @@ class RackMachine:
                         lines.move_to_end(base)
                         cache.stats.hits += 1
                         if _TEL.enabled:
-                            _TEL.registry.inc(node_id, _SUB, "cache.hit")
+                            _TEL.count(node_id, _SUB, "cache.hit")
                         # == _charge_cached(node, region, hits=1, misses=0)
                         node.clock._now_ns += self._hit_ns
                         lo = addr - base
@@ -172,7 +176,7 @@ class RackMachine:
             self._maybe_fault(region, offset, size, node_id)
             self._check_poison(region, offset, size, node_id)
             if _TEL.enabled:
-                _TEL.registry.inc(node_id, _SUB, "bypass.load")
+                _TEL.count(node_id, _SUB, "bypass.load")
             return region.device.read(offset, size)
         data, hits, misses = node.cache.load(addr, size)
         self._charge_cached(node, region, hits, misses)
@@ -206,7 +210,7 @@ class RackMachine:
                         line.dirty = True
                         cache.stats.hits += 1
                         if _TEL.enabled:
-                            _TEL.registry.inc(node_id, _SUB, "cache.hit")
+                            _TEL.count(node_id, _SUB, "cache.hit")
                         # == _charge_cached(node, region, hits=1, misses=0)
                         node.clock._now_ns += self._hit_ns
                         return
@@ -217,7 +221,7 @@ class RackMachine:
             region.device.clear_poison(offset, len(data))
             region.device.write(offset, data)
             if _TEL.enabled:
-                _TEL.registry.inc(node_id, _SUB, "bypass.store")
+                _TEL.count(node_id, _SUB, "bypass.store")
             return
         hits, misses, allocs = node.cache.store(addr, data)
         # full-line allocations never fetch: charged like hits
@@ -264,6 +268,243 @@ class RackMachine:
         """Coherent (cache-bypassing) integer store."""
         node, region, offset, fmt = self._atomic_prologue(node_id, addr, width)
         region.device.write(offset, struct.pack(fmt, value & _mask(width)))
+
+    # -- bulk data plane (DESIGN.md §10) -----------------------------------------------
+    #
+    # The bulk APIs are *semantically* a loop of single ops: returned
+    # bytes, charged simulated ns, cache state, fault-log contents, and
+    # telemetry counters are bit-identical to issuing each access alone.
+    # What they amortise is host CPU: one resolve per distinct region,
+    # one coalesced fault/poison pass per region, vectorized charge
+    # arithmetic (``np.add.accumulate`` is a strict left fold, so the
+    # float rounding matches the sequential clock adds), and one
+    # aggregated telemetry record per batch.  Whenever a batch needs the
+    # sequential machinery to stay exact — fault injection armed for a
+    # touched region kind, poison in a touched window, overlapping
+    # writes, unmapped or misaligned addresses — it falls back to the
+    # single-op loop, which reproduces every observable including the
+    # op index at which an error surfaces.
+
+    def load_many(
+        self,
+        node_id: int,
+        addrs: Sequence[int],
+        size: int,
+        *,
+        bypass_cache: bool = False,
+        concat: bool = False,
+    ) -> Union[List[bytes], bytes]:
+        """Read ``size`` bytes at each address (scatter-gather read).
+
+        Returns one ``bytes`` per address, or a single packed buffer
+        when ``concat`` is true.  Equivalent to a loop of :meth:`load`.
+        """
+        n = len(addrs)
+        if n == 0:
+            return b"" if concat else []
+        node = self._node(node_id)
+        node.check_alive()
+        if bypass_cache:
+            buf = self._bulk_bypass_load(node, addrs, size)
+            if buf is not None:
+                return buf if concat else _split(buf, size)
+            parts = [self.load(node_id, a, size, bypass_cache=True) for a in addrs]
+        else:
+            parts = self._bulk_cached_load(node, addrs, size)
+        return b"".join(parts) if concat else parts
+
+    def store_many(
+        self,
+        node_id: int,
+        addrs: Sequence[int],
+        data: Union[Sequence[bytes], bytes],
+        *,
+        bypass_cache: bool = False,
+        size: Optional[int] = None,
+    ) -> None:
+        """Write ``data[i]`` at ``addrs[i]`` (scatter write).
+
+        ``data`` is one payload per address, or — when ``size`` is given
+        — a single packed buffer of ``len(addrs) * size`` bytes (the
+        write-side twin of ``load_many(..., concat=True)``; skips all
+        per-payload bookkeeping).  Equivalent to a loop of :meth:`store`;
+        per-payload batches need not share one size, though only
+        uniform-size bypass batches vectorize.
+        """
+        n = len(addrs)
+        if size is not None:
+            if size <= 0:
+                raise ValueError("packed store_many needs a positive size")
+            if len(data) != n * size:
+                raise ValueError(
+                    f"store_many got {n} addresses but a packed buffer of "
+                    f"{len(data)} bytes (need {n * size})"
+                )
+            if n == 0:
+                return
+            node = self._node(node_id)
+            node.check_alive()
+            if bypass_cache and self._bulk_bypass_store_packed(node, addrs, data, size):
+                return
+            data = _split(bytes(data), size)
+        else:
+            if len(data) != n:
+                raise ValueError(f"store_many got {n} addresses but {len(data)} payloads")
+            if n == 0:
+                return
+            node = self._node(node_id)
+            node.check_alive()
+            if bypass_cache and self._bulk_bypass_store(node, addrs, data):
+                return
+        if bypass_cache:
+            for a, d in zip(addrs, data):
+                self.store(node_id, a, d, bypass_cache=True)
+            return
+        self._bulk_cached_store(node, addrs, data)
+
+    def copy(
+        self, node_id: int, dst: int, src: int, size: int, *, bypass_cache: bool = False
+    ) -> None:
+        """Copy ``size`` bytes from ``src`` to ``dst`` through the node.
+
+        Semantically ``store(dst, load(src, size))``; the bypass form
+        moves the bytes device-to-device as one slab slice instead of
+        materialising them in Python.
+        """
+        if size <= 0:
+            return
+        if not bypass_cache:
+            self.store(node_id, dst, self.load(node_id, src, size))
+            return
+        node, sregion, soff = self._access(node_id, src, size)
+        self._charge_bulk(node, sregion, size, write=False)
+        self._maybe_fault(sregion, soff, size, node_id)
+        self._check_poison(sregion, soff, size, node_id)
+        node, dregion, doff = self._access(node_id, dst, size)
+        self._charge_bulk(node, dregion, size, write=True)
+        self._maybe_fault(dregion, doff, size, node_id)
+        dregion.device.clear_poison(doff, size)
+        dregion.device.copy_from(doff, sregion.device, soff, size)
+        if _TEL.enabled:
+            _TEL.count(node_id, _SUB, "bypass.load")
+            _TEL.count(node_id, _SUB, "bypass.store")
+
+    def fill(
+        self, node_id: int, addr: int, size: int, value: int, *, bypass_cache: bool = False
+    ) -> None:
+        """Set ``size`` bytes at ``addr`` to ``value`` (memset).
+
+        Semantically ``store(addr, bytes([value]) * size)``; the bypass
+        form broadcasts into the device slab without building a payload.
+        """
+        if size <= 0:
+            return
+        if not bypass_cache:
+            self.store(node_id, addr, bytes([value & 0xFF]) * size)
+            return
+        node, region, offset = self._access(node_id, addr, size)
+        self._charge_bulk(node, region, size, write=True)
+        self._maybe_fault(region, offset, size, node_id)
+        region.device.clear_poison(offset, size)
+        region.device.fill(offset, size, value & 0xFF)
+        if _TEL.enabled:
+            _TEL.count(node_id, _SUB, "bypass.store")
+
+    def atomic_fetch_add_many(
+        self,
+        node_id: int,
+        addrs: Sequence[int],
+        deltas: Union[int, Sequence[int]] = 1,
+        width: int = 8,
+    ) -> List[int]:
+        """Batched :meth:`atomic_fetch_add`; returns the old values.
+
+        ``deltas`` may be one int (broadcast) or a parallel sequence.
+        Batches with duplicate addresses chain read-modify-writes, so
+        they take the sequential path; unique-address batches vectorize.
+        """
+        n = len(addrs)
+        if n == 0:
+            return []
+        if isinstance(deltas, int):
+            delta_seq: Sequence[int] = [deltas] * n
+        else:
+            delta_seq = deltas
+            if len(delta_seq) != n:
+                raise ValueError(f"{n} addresses but {len(delta_seq)} deltas")
+        plan = self._bulk_atomic_plan(node_id, addrs, width)
+        if plan is not None:
+            try:
+                # int64 wrap-around then uintN truncation == ``& _mask(width)``
+                d_arr = np.asarray(delta_seq, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                plan = None
+        if plan is None:
+            return [
+                self.atomic_fetch_add(node_id, a, d, width)
+                for a, d in zip(addrs, delta_seq)
+            ]
+        node, groups = plan
+        dtype = np.dtype(_INT_DTYPE[width])
+        old = np.empty(n, dtype=dtype)
+        d_arr = d_arr.astype(dtype)
+        for region, idx, offs in groups:
+            rows = region.device.gather(offs, width)
+            vals = rows.view(dtype).ravel()
+            old[idx] = vals
+            new = vals + d_arr[idx]
+            region.device.scatter(offs, new.reshape(-1, 1).view(np.uint8))
+        self._bulk_atomic_epilogue(node, addrs, groups)
+        return old.tolist()
+
+    def atomic_cas_many(
+        self,
+        node_id: int,
+        addrs: Sequence[int],
+        expected: Sequence[int],
+        new: Sequence[int],
+        width: int = 8,
+    ) -> List[Tuple[bool, int]]:
+        """Batched :meth:`atomic_cas`; returns ``(swapped, observed)`` pairs."""
+        n = len(addrs)
+        if len(expected) != n or len(new) != n:
+            raise ValueError("atomic_cas_many needs parallel addrs/expected/new")
+        if n == 0:
+            return []
+        plan = self._bulk_atomic_plan(node_id, addrs, width)
+        if plan is not None:
+            try:
+                e_raw = np.asarray(expected, dtype=np.int64)
+                v_arr = np.asarray(new, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                plan = None
+        if plan is None:
+            return [
+                self.atomic_cas(node_id, a, e, v, width)
+                for a, e, v in zip(addrs, expected, new)
+            ]
+        node, groups = plan
+        dtype = np.dtype(_INT_DTYPE[width])
+        old = np.empty(n, dtype=dtype)
+        swapped = np.empty(n, dtype=bool)
+        # the single op compares ``expected`` *unmasked* — an expected
+        # value outside [0, 2^bits) can never match the device value —
+        # so range-check before comparing in the truncated domain
+        in_range = e_raw >= 0
+        if width < 8:
+            in_range &= e_raw <= _mask(width)
+        e_arr = e_raw.astype(dtype)
+        v_arr = v_arr.astype(dtype)  # truncation == ``new & _mask(width)``
+        for region, idx, offs in groups:
+            rows = region.device.gather(offs, width)
+            vals = rows.view(dtype).ravel()
+            old[idx] = vals
+            hit = in_range[idx] & (vals == e_arr[idx])
+            swapped[idx] = hit
+            result = np.where(hit, v_arr[idx], vals)
+            region.device.scatter(offs, result.reshape(-1, 1).view(np.uint8))
+        self._bulk_atomic_epilogue(node, addrs, groups)
+        return list(zip(swapped.tolist(), old.tolist()))
 
     # -- cache maintenance -------------------------------------------------------------
 
@@ -442,7 +683,7 @@ class RackMachine:
         cost = self.latency.global_atomic_ns if region.is_global else self.latency.local_atomic_ns
         node.clock.advance(cost)
         if _TEL.enabled:
-            _TEL.registry.inc(
+            _TEL.count(
                 node_id, _SUB, "atomic.global" if region.is_global else "atomic.local"
             )
         node.cache.invalidate(addr, width)
@@ -490,13 +731,12 @@ class RackMachine:
 
     def _charge_cached(self, node: Node, region: Region, hits: int, misses: int) -> None:
         if _TEL.enabled and (hits or misses):
-            reg = _TEL.registry
             if hits:
-                reg.inc(node.node_id, _SUB, "cache.hit", hits)
+                _TEL.count(node.node_id, _SUB, "cache.hit", hits)
             if misses:
-                reg.inc(node.node_id, _SUB, "cache.miss", misses)
+                _TEL.count(node.node_id, _SUB, "cache.miss", misses)
                 if region.is_global:
-                    reg.inc(node.node_id, _SUB, "cache.remote_fetch", misses)
+                    _TEL.count(node.node_id, _SUB, "cache.remote_fetch", misses)
         lat = self.latency
         ns = hits * lat.cache_hit_ns
         if misses:
@@ -506,19 +746,369 @@ class RackMachine:
             ns += misses * lat.cache_miss_overhead_ns
         node.clock.advance(ns)
 
-    def _charge_bulk(self, node: Node, region: Region, size: int, *, write: bool) -> None:
+    def _bulk_ns(self, node: Node, region: Region, size: int) -> float:
+        """Charge of one non-temporal (cache-bypassing) burst.
+
+        Loads and stores are symmetric: the first line pays full device
+        latency, the rest pay bandwidth.  ``writeback_line_ns`` is *not*
+        charged here — that cost models writing back lines that were
+        cached, and a bypass access to a region that was never cached
+        has no such lines; charging it double-counted the per-line
+        transfer already covered by the bandwidth term (the old
+        ``bypass_store_4k`` vs ``bypass_load_4k`` asymmetry).
+        """
         n_lines = max(1, (size + self.line_size - 1) // self.line_size)
         first, rest_line = self._line_pair_ns(node, region)
-        ns = first + (n_lines - 1) * rest_line
-        if write:
-            # non-temporal stores pay the device write cost per line,
-            # exactly like a write-back burst
-            ns += n_lines * self.latency.writeback_line_ns
-        node.clock.advance(ns)
+        return first + (n_lines - 1) * rest_line
+
+    def _charge_bulk(self, node: Node, region: Region, size: int, *, write: bool) -> None:
+        node.clock.advance(self._bulk_ns(node, region, size))
+
+    # -- bulk internals ----------------------------------------------------------------
+
+    def _advance_vec(self, node: Node, charges: np.ndarray) -> None:
+        """Advance the clock by ``charges`` in op order, bit-identically.
+
+        ``np.add.accumulate`` is a strict left fold over float64, so the
+        final clock value reproduces the rounding of a sequential
+        ``advance`` per element exactly — the property the golden
+        latency tests pin.
+        """
+        acc = np.empty(charges.shape[0] + 1, dtype=np.float64)
+        acc[0] = node.clock._now_ns
+        acc[1:] = charges
+        np.add.accumulate(acc, out=acc)
+        node.clock._now_ns = float(acc[-1])
+
+    def _bulk_plan(
+        self, node: Node, addrs: Sequence[int], size: int
+    ) -> Optional[List[Tuple[Region, np.ndarray, np.ndarray]]]:
+        """Group a batch by region: ``[(region, op_indices, offsets)]``.
+
+        Returns ``None`` whenever only the sequential path preserves
+        exact semantics: an unmapped / foreign-local / region-straddling
+        address (the error must surface at its op index, after the prior
+        ops' side effects), fault injection armed for a touched region
+        kind (RNG draws and timestamps interleave per op), or poison
+        anywhere in a touched region's coalesced window (the raise
+        happens mid-batch with the clock mid-way).
+        """
+        try:
+            arr = np.asarray(addrs, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if arr.ndim != 1:
+            return None
+        n = arr.shape[0]
+        faults = self.faults
+        if n:
+            # fast path: the whole batch inside one region (the common
+            # shape).  min/max bound every address, so one resolve of the
+            # span replaces the per-region mask walk below.
+            lo = int(arr.min())
+            hi = int(arr.max())
+            try:
+                region, _ = self.address_map.resolve(lo, 1)
+            except MemoryError_:
+                return None
+            if lo >= region.base and hi + size <= region.end:
+                if region.owner is not None and region.owner != node.node_id:
+                    return None  # ProtectionError belongs to one op index
+                if not faults.is_noop(region.owner is None):
+                    return None
+                base = region.base
+                if region.device.is_poisoned(lo - base, hi + size - lo):
+                    return None
+                return [(region, np.arange(n, dtype=np.int64), arr - base)]
+        groups: List[Tuple[Region, np.ndarray, np.ndarray]] = []
+        matched = 0
+        for region in self.address_map.regions:
+            if region.owner is not None and region.owner != node.node_id:
+                if bool(np.any((arr >= region.base) & (arr < region.end))):
+                    return None  # ProtectionError belongs to one op index
+                continue
+            mask = (arr >= region.base) & (arr + size <= region.end)
+            idx = np.nonzero(mask)[0]
+            if idx.shape[0] == 0:
+                continue
+            matched += idx.shape[0]
+            if not faults.is_noop(region.owner is None):
+                return None
+            offs = arr[idx] - region.base
+            lo = int(offs.min())
+            span = int(offs.max()) + size - lo
+            if region.device.is_poisoned(lo, span):
+                return None
+            groups.append((region, idx, offs))
+        if matched != n:
+            return None  # some address is unmapped or straddles a region
+        return groups
+
+    def _bulk_bypass_load(
+        self, node: Node, addrs: Sequence[int], size: int
+    ) -> Optional[bytes]:
+        """Vectorized non-temporal gather; ``None`` means go sequential."""
+        if size <= 0:
+            return None
+        groups = self._bulk_plan(node, addrs, size)
+        if groups is None:
+            return None
+        n = len(addrs)
+        charges = np.empty(n, dtype=np.float64)
+        if len(groups) == 1 and groups[0][1].shape[0] == n:
+            # whole batch in one region: idx is the identity permutation
+            region, _idx, offs = groups[0]
+            charges.fill(self._bulk_ns(node, region, size))
+            out = region.device.gather(offs, size)
+        else:
+            out = np.empty((n, size), dtype=np.uint8)
+            for region, idx, offs in groups:
+                charges[idx] = self._bulk_ns(node, region, size)
+                out[idx] = region.device.gather(offs, size)
+        self._advance_vec(node, charges)
+        if _TEL.enabled:
+            _TEL.add(node.node_id, _SUB, "bypass.load", float(n))
+        return out.tobytes()
+
+    def _bulk_bypass_store(
+        self, node: Node, addrs: Sequence[int], data: Sequence[bytes]
+    ) -> bool:
+        """Vectorized non-temporal scatter; False means go sequential."""
+        n = len(data)
+        size = len(data[0])
+        lens = np.fromiter(map(len, data), dtype=np.int64, count=n)
+        if size <= 0 or bool(np.any(lens != size)):
+            return False  # ragged sizes: each op charges its own burst
+        groups = self._bulk_plan(node, addrs, size)
+        if groups is None:
+            return False
+        rows = np.frombuffer(b"".join(data), dtype=np.uint8).reshape(n, size)
+        return self._bulk_scatter(node, groups, rows, size)
+
+    def _bulk_bypass_store_packed(
+        self, node: Node, addrs: Sequence[int], packed, size: int
+    ) -> bool:
+        """Packed-buffer variant: no per-payload sizes to validate."""
+        groups = self._bulk_plan(node, addrs, size)
+        if groups is None:
+            return False
+        try:
+            rows = np.frombuffer(packed, dtype=np.uint8).reshape(-1, size)
+        except (TypeError, ValueError, BufferError):
+            return False
+        return self._bulk_scatter(node, groups, rows, size)
+
+    def _bulk_scatter(
+        self,
+        node: Node,
+        groups: List[Tuple[Region, np.ndarray, np.ndarray]],
+        rows: np.ndarray,
+        size: int,
+    ) -> bool:
+        """Charge and apply a planned scatter write; False = go sequential."""
+        n = rows.shape[0]
+        for _region, idx, offs in groups:
+            if idx.shape[0] > 1:
+                # overlapping (or duplicate) target windows must apply in
+                # op order — numpy scatter order is unspecified
+                so = np.sort(offs)
+                if int((so[1:] - so[:-1]).min()) < size:
+                    return False
+        charges = np.empty(n, dtype=np.float64)
+        if len(groups) == 1 and groups[0][1].shape[0] == n:
+            # whole batch in one region: idx is the identity permutation
+            region, _idx, offs = groups[0]
+            charges.fill(self._bulk_ns(node, region, size))
+            # plan proved no poison in the window: per-op clear_poison
+            # would be a no-op, so skipping it is exact
+            region.device.scatter(offs, rows)
+        else:
+            for region, idx, offs in groups:
+                charges[idx] = self._bulk_ns(node, region, size)
+                region.device.scatter(offs, rows[idx])
+        self._advance_vec(node, charges)
+        if _TEL.enabled:
+            _TEL.add(node.node_id, _SUB, "bypass.store", float(n))
+        return True
+
+    def _bulk_cached_load(
+        self, node: Node, addrs: Sequence[int], size: int
+    ) -> List[bytes]:
+        """Fused cached-load loop: the single-op hit fast path with the
+        per-op call overhead hoisted out.  Clock, stats and telemetry
+        accumulate locally and flush whenever an op leaves the fast path
+        (miss, multi-line, dead node), so every observable matches the
+        sequential loop exactly — including the clock value any general
+        -path op reads mid-batch."""
+        out: List[bytes] = []
+        append = out.append
+        node_id = node.node_id
+        if size <= 0:
+            for a in addrs:
+                append(self.load(node_id, a, size))
+            return out
+        mask = self._line_mask
+        line_sz = mask + 1
+        hit_ns = self._hit_ns
+        cache = node.cache
+        lines = cache._lines
+        get = lines.get
+        move = lines.move_to_end
+        clock = node.clock
+        t = clock._now_ns
+        pend = 0
+        for a in addrs:
+            base = a & ~mask
+            if node.alive and a + size <= base + line_sz:
+                line = get(base)
+                if line is not None:
+                    move(base)
+                    pend += 1
+                    t += hit_ns
+                    lo = a - base
+                    append(bytes(line.data[lo : lo + size]))
+                    continue
+            if pend:
+                clock._now_ns = t
+                cache.stats.hits += pend
+                if _TEL.enabled:
+                    _TEL.add(node_id, _SUB, "cache.hit", float(pend))
+                pend = 0
+            append(self.load(node_id, a, size))
+            t = clock._now_ns
+        if pend:
+            clock._now_ns = t
+            cache.stats.hits += pend
+            if _TEL.enabled:
+                _TEL.add(node_id, _SUB, "cache.hit", float(pend))
+        return out
+
+    def _bulk_cached_store(
+        self, node: Node, addrs: Sequence[int], data: Sequence[bytes]
+    ) -> None:
+        """Fused cached-store loop (see :meth:`_bulk_cached_load`)."""
+        node_id = node.node_id
+        mask = self._line_mask
+        line_sz = mask + 1
+        hit_ns = self._hit_ns
+        cache = node.cache
+        lines = cache._lines
+        get = lines.get
+        move = lines.move_to_end
+        clock = node.clock
+        t = clock._now_ns
+        pend = 0
+        for a, d in zip(addrs, data):
+            size = len(d)
+            base = a & ~mask
+            if 0 < size and node.alive and a + size <= base + line_sz:
+                line = get(base)
+                if line is not None:
+                    move(base)
+                    lo = a - base
+                    line.data[lo : lo + size] = d
+                    line.dirty = True
+                    pend += 1
+                    t += hit_ns
+                    continue
+            if pend:
+                clock._now_ns = t
+                cache.stats.hits += pend
+                if _TEL.enabled:
+                    _TEL.add(node_id, _SUB, "cache.hit", float(pend))
+                pend = 0
+            self.store(node_id, a, d)
+            t = clock._now_ns
+        if pend:
+            clock._now_ns = t
+            cache.stats.hits += pend
+            if _TEL.enabled:
+                _TEL.add(node_id, _SUB, "cache.hit", float(pend))
+
+    def _bulk_atomic_plan(
+        self, node_id: int, addrs: Sequence[int], width: int
+    ) -> Optional[Tuple[Node, List[Tuple[Region, np.ndarray, np.ndarray]]]]:
+        """Plan a batched atomic; ``None`` means go sequential.
+
+        On top of :meth:`_bulk_plan`'s rules, atomics also go sequential
+        on a dead node (the raise), a misaligned address (the raise at
+        its index), duplicate addresses (chained read-modify-writes),
+        or any touched line resident in the issuing node's cache (the
+        per-op invalidate is observable in eviction order).
+        """
+        if width not in _INT_DTYPE:
+            raise ValueError(
+                f"atomic width must be one of {sorted(_INT_FMT)}, got {width}"
+            )
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return None
+        try:
+            arr = np.asarray(addrs, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if arr.ndim != 1:
+            return None
+        if width > 1 and bool(np.any(arr % width)):
+            return None
+        srt = np.sort(arr)
+        if srt.shape[0] > 1 and bool(np.any(srt[1:] == srt[:-1])):
+            return None  # duplicates: chained read-modify-writes
+        lines = node.cache._lines
+        if lines:
+            bases = srt & ~self._line_mask  # sorted, possibly repeated
+            if bases.shape[0] > 1:
+                keep = np.empty(bases.shape[0], dtype=bool)
+                keep[0] = True
+                np.not_equal(bases[1:], bases[:-1], out=keep[1:])
+                bases = bases[keep]
+            # membership test over the smaller side
+            if len(lines) < bases.shape[0]:
+                base_set = set(bases.tolist())
+                for cached in lines:
+                    if cached in base_set:
+                        return None
+            else:
+                for base in bases.tolist():
+                    if base in lines:
+                        return None
+        groups = self._bulk_plan(node, arr, width)
+        if groups is None:
+            return None
+        return node, groups
+
+    def _bulk_atomic_epilogue(
+        self,
+        node: Node,
+        addrs: Sequence[int],
+        groups: List[Tuple[Region, np.ndarray, np.ndarray]],
+    ) -> None:
+        """Charge and count a vectorized atomic batch.
+
+        The plan proved no fault, poison, or cached line is involved, so
+        only the final clock value is observable — accumulated in op
+        order to keep float rounding identical to the sequential loop.
+        """
+        n = len(addrs)
+        lat = self.latency
+        charges = np.empty(n, dtype=np.float64)
+        n_global = 0
+        for region, idx, _offs in groups:
+            if region.is_global:
+                charges[idx] = lat.global_atomic_ns
+                n_global += idx.shape[0]
+            else:
+                charges[idx] = lat.local_atomic_ns
+        self._advance_vec(node, charges)
+        if _TEL.enabled:
+            if n_global:
+                _TEL.add(node.node_id, _SUB, "atomic.global", float(n_global))
+            if n > n_global:
+                _TEL.add(node.node_id, _SUB, "atomic.local", float(n - n_global))
 
     def _charge_writeback(self, node: Node, region: Region, lines: int) -> None:
         if _TEL.enabled:
-            _TEL.registry.inc(node.node_id, _SUB, "cache.writeback_lines", lines)
+            _TEL.count(node.node_id, _SUB, "cache.writeback_lines", lines)
         first, rest_line = self._line_pair_ns(node, region)
         rest = (lines - 1) * rest_line
         node.clock.advance(first + rest + lines * self.latency.writeback_line_ns)
@@ -549,7 +1139,7 @@ class RackMachine:
                 if not victims:
                     return
                 if _TEL.enabled:
-                    _TEL.registry.inc(node_id, _SUB, "fault.retry")
+                    _TEL.count(node_id, _SUB, "fault.retry")
                 self._in_repair = True
                 try:
                     repaired = handler(region.base + victims[0], node_id)
@@ -562,7 +1152,7 @@ class RackMachine:
             if not device.is_poisoned(offset, size):
                 return
         if _TEL.enabled:
-            _TEL.registry.inc(node_id, _SUB, "fault.ue_raised")
+            _TEL.count(node_id, _SUB, "fault.ue_raised")
         raise UncorrectableMemoryError(region.base + offset, node_id)
 
     def _make_backing_reader(self, node_id: int):
@@ -598,6 +1188,54 @@ class NodeContext:
 
     def store(self, addr: int, data: bytes, *, bypass_cache: bool = False) -> None:
         self.machine.store(self.node_id, addr, data, bypass_cache=bypass_cache)
+
+    # bulk data plane
+    def load_many(
+        self,
+        addrs: Sequence[int],
+        size: int,
+        *,
+        bypass_cache: bool = False,
+        concat: bool = False,
+    ) -> Union[List[bytes], bytes]:
+        return self.machine.load_many(
+            self.node_id, addrs, size, bypass_cache=bypass_cache, concat=concat
+        )
+
+    def store_many(
+        self,
+        addrs: Sequence[int],
+        data: Union[Sequence[bytes], bytes],
+        *,
+        bypass_cache: bool = False,
+        size: Optional[int] = None,
+    ) -> None:
+        self.machine.store_many(
+            self.node_id, addrs, data, bypass_cache=bypass_cache, size=size
+        )
+
+    def copy(self, dst: int, src: int, size: int, *, bypass_cache: bool = False) -> None:
+        self.machine.copy(self.node_id, dst, src, size, bypass_cache=bypass_cache)
+
+    def fill(self, addr: int, size: int, value: int, *, bypass_cache: bool = False) -> None:
+        self.machine.fill(self.node_id, addr, size, value, bypass_cache=bypass_cache)
+
+    def fetch_add_many(
+        self,
+        addrs: Sequence[int],
+        deltas: Union[int, Sequence[int]] = 1,
+        width: int = 8,
+    ) -> List[int]:
+        return self.machine.atomic_fetch_add_many(self.node_id, addrs, deltas, width)
+
+    def cas_many(
+        self,
+        addrs: Sequence[int],
+        expected: Sequence[int],
+        new: Sequence[int],
+        width: int = 8,
+    ) -> List[Tuple[bool, int]]:
+        return self.machine.atomic_cas_many(self.node_id, addrs, expected, new, width)
 
     # atomics
     def cas(self, addr: int, expected: int, new: int, width: int = 8) -> Tuple[bool, int]:
@@ -645,3 +1283,8 @@ class NodeContext:
 
 def _mask(width: int) -> int:
     return (1 << (8 * width)) - 1
+
+
+def _split(buf: bytes, size: int) -> List[bytes]:
+    """Cut a packed gather result into per-op ``bytes`` chunks."""
+    return [buf[i : i + size] for i in range(0, len(buf), size)]

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .params import GLOBAL_BASE, LOCAL_STRIDE
 
 
@@ -54,12 +56,19 @@ class PhysicalMemory:
     This is *device-level* memory: caches sit above it, so the bytes here
     are only as fresh as the last write-back.  Reads and writes are exact
     (no latency — the machine charges time separately).
+
+    The store is one ``bytearray`` slab; ``slab`` is a numpy ``uint8``
+    view *sharing that memory*, so byte-path operations keep their cheap
+    ``bytearray`` semantics while the bulk data plane gathers/scatters
+    through vectorized fancy indexing on the same bytes.
     """
 
     def __init__(self, size: int, kind: MemoryKind, name: str = "") -> None:
         if size <= 0:
             raise ValueError("memory size must be positive")
         self._buf = bytearray(size)
+        #: numpy uint8 view aliasing ``_buf`` (zero-copy; never resized).
+        self.slab: np.ndarray = np.frombuffer(self._buf, dtype=np.uint8)
         self.size = size
         self.kind = kind
         self.name = name or kind.value
@@ -78,6 +87,59 @@ class PhysicalMemory:
     def write(self, offset: int, data: bytes) -> None:
         self._check(offset, len(data))
         self._buf[offset : offset + len(data)] = data
+
+    # -- bulk slab operations (the vectorized data plane) -------------------
+
+    def view(self, offset: int, size: int) -> memoryview:
+        """Zero-copy read/write window into the slab."""
+        self._check(offset, size)
+        return memoryview(self._buf)[offset : offset + size]
+
+    def fill(self, offset: int, size: int, value: int) -> None:
+        """Set ``size`` bytes to ``value`` in one slab write."""
+        self._check(offset, size)
+        self.slab[offset : offset + size] = value
+
+    def copy_from(
+        self, dst_offset: int, src: "PhysicalMemory", src_offset: int, size: int
+    ) -> None:
+        """Device-to-device copy as a single slice move (memcpy).
+
+        Overlapping same-device ranges copy through a snapshot, so the
+        result is always "read everything, then write" (memmove).
+        """
+        self._check(dst_offset, size)
+        src._check(src_offset, size)
+        if src is self and dst_offset < src_offset + size and src_offset < dst_offset + size:
+            self._buf[dst_offset : dst_offset + size] = bytes(
+                self._buf[src_offset : src_offset + size]
+            )
+            return
+        self._buf[dst_offset : dst_offset + size] = src.view(src_offset, size)
+
+    def gather(self, offsets: np.ndarray, size: int) -> np.ndarray:
+        """Read ``size`` bytes at each offset; returns ``(n, size)`` uint8.
+
+        One vectorized fancy-index over the slab — the scatter-gather
+        primitive the bulk data plane's bypass path is built on.  Bounds
+        are the caller's job (the machine resolves regions first).
+        """
+        if size == 1:
+            return self.slab[offsets].reshape(-1, 1)
+        return self.slab[offsets[:, None] + np.arange(size, dtype=np.int64)]
+
+    def scatter(self, offsets: np.ndarray, rows: np.ndarray) -> None:
+        """Write ``rows[i]`` (uint8 vectors) at ``offsets[i]``, vectorized.
+
+        Target windows must not overlap — numpy leaves duplicate
+        fancy-index assignment order unspecified, so the machine routes
+        overlapping batches through the sequential path instead.
+        """
+        size = rows.shape[1]
+        if size == 1:
+            self.slab[offsets] = rows[:, 0]
+        else:
+            self.slab[offsets[:, None] + np.arange(size, dtype=np.int64)] = rows
 
     def flip_bit(self, offset: int, bit: int) -> None:
         """Corrupt one bit in place (fault injection)."""

@@ -166,6 +166,16 @@ class MetricsRegistry:
         if now_ns is not None:
             self.last_update_ns[key] = now_ns
 
+    def add(self, key: MetricKey, delta: float = 1.0) -> None:
+        """Bulk-increment a counter by a prebuilt key.
+
+        The batch-path form of :meth:`inc`: one dict lookup per batch
+        instead of one per op, no key tuple rebuilt, no timestamp.
+        Counter deltas are small integers well inside float53, so one
+        aggregated add lands on exactly the value ``n`` unit incs would.
+        """
+        self.counters[key] = self.counters.get(key, 0.0) + delta
+
     def set_gauge(
         self,
         node: int,

@@ -223,3 +223,42 @@ class TestPipelining:
             client.request(b"GET", b"r%d" % i)
         sequential_ns = client.ctx.now() - t0
         assert batch_ns / 50 < sequential_ns / 50
+
+
+class TestPipelinedFrames:
+    """The multi-command frame codec behind pipeline batching."""
+
+    def test_commands_frame_round_trip(self):
+        commands = [
+            [b"SET", b"k1", b"v1"],
+            [b"GET", b"k1"],
+            [b"MGET", b"k1", b"k2"],
+            [b"PING"],
+        ]
+        frame = resp.encode_commands(commands)
+        assert resp.decode_commands(frame) == commands
+        # a single-command frame decodes like decode_command
+        single = resp.encode_commands(commands[:1])
+        assert resp.decode_commands(single) == [resp.decode_command(single)]
+        assert resp.decode_commands(b"") == []
+
+    def test_replies_frame_round_trip(self):
+        replies = ["OK", None, 7, b"payload", [b"a", None]]
+        frame = b"".join(resp.encode_reply(r) for r in replies)
+        assert resp.decode_replies(frame) == replies
+        assert resp.decode_replies(b"") == []
+
+    def test_non_command_frame_rejected(self):
+        with pytest.raises(resp.RespError):
+            resp.decode_commands(resp.encode_reply(7))
+
+    def test_server_answers_one_frame_per_request_frame(self, flacos_pair):
+        client, server = flacos_pair
+        frame = resp.encode_commands(
+            [[b"SET", b"a", b"1"], [b"INCR", b"a"], [b"GET", b"a"]]
+        )
+        client.transport.send(client.ctx, frame)
+        assert server.serve_pending() == 3
+        raw = client.transport.recv(client.ctx)
+        assert resp.decode_replies(raw) == ["OK", 2, b"2"]
+        assert client.transport.recv(client.ctx) is None  # exactly one frame

@@ -26,7 +26,7 @@ sys.path.insert(0, str(BENCH_DIR))
 import bench_substrate  # noqa: E402
 
 
-EXPECTED_WORKLOADS = {
+SINGLE_OP_WORKLOADS = {
     "cached_load_hot",
     "cached_store_hot",
     "cached_load_miss",
@@ -36,6 +36,21 @@ EXPECTED_WORKLOADS = {
     "flush_line",
     "mixed_90_10",
 }
+
+BULK_WORKLOADS = {
+    "bulk_load_1k",
+    "bulk_store_1k",
+    "scatter_gather_64",
+    "batched_fetch_add",
+    "cached_bulk_load_1k",
+    "bulk_load_1k_telemetry",
+}
+
+EXPECTED_WORKLOADS = SINGLE_OP_WORKLOADS | BULK_WORKLOADS
+
+#: rows carrying a recorded baseline (the telemetry variant has none —
+#: its reference is the plain bulk row in the same run)
+BASELINE_WORKLOADS = EXPECTED_WORKLOADS - {"bulk_load_1k_telemetry"}
 
 METRIC_KEYS = {"ops", "wall_s", "ops_per_sec", "ns_per_op", "sim_ns_charged"}
 
@@ -62,8 +77,16 @@ def test_smoke_schema(smoke_report):
         assert metrics["ops_per_sec"] > 0
         assert metrics["sim_ns_charged"] > 0
     # the recorded pre-optimization baseline must stay available
-    assert set(smoke_report["baseline_ops_per_sec"]) == EXPECTED_WORKLOADS
-    assert set(smoke_report["speedup_vs_baseline"]) == EXPECTED_WORKLOADS
+    assert set(smoke_report["baseline_ops_per_sec"]) == BASELINE_WORKLOADS
+    assert set(smoke_report["speedup_vs_baseline"]) == BASELINE_WORKLOADS
+    # bulk rows are compared against their single-op pair within the run
+    assert set(smoke_report["bulk_speedup_vs_single"]) == {
+        "bulk_load_1k", "bulk_store_1k", "batched_fetch_add",
+    }
+    tel = smoke_report["telemetry_overhead"]
+    assert tel["workload"] == "bulk_load_1k"
+    # telemetry must never touch simulated time
+    assert tel["sim_ns_delta"] == 0.0
 
 
 def test_smoke_throughput_floor(smoke_report):
@@ -82,3 +105,13 @@ def test_checked_in_report_fresh():
     speed = report["speedup_vs_baseline"]
     assert speed["cached_load_hot"] >= 3.0
     assert speed["cached_store_hot"] >= 3.0
+    # the batched data plane must land its headline win (ISSUE 6): bulk
+    # rows at least 10x their single-op counterpart on the recording
+    # machine, and telemetry within 1.10x wall at zero simulated-ns cost
+    bulk = report["bulk_speedup_vs_single"]
+    assert bulk["bulk_load_1k"] >= 10.0
+    assert bulk["bulk_store_1k"] >= 10.0
+    assert bulk["batched_fetch_add"] >= bench_substrate.SMOKE_MIN_BULK_SPEEDUP
+    tel = report["telemetry_overhead"]
+    assert tel["sim_ns_delta"] == 0.0
+    assert tel["wall_overhead"] <= 1.10

@@ -1,0 +1,378 @@
+"""Property tests: the bulk data plane is a loop of single ops.
+
+Seeded randomized equivalence (ISSUE 6 satellite): for every batch shape
+— cached and bypass, loads and stores, batched atomics — the bulk API
+must match a loop of single ops in *every* observable:
+
+* returned bytes / returned atomic values,
+* charged simulated ns, bit for bit,
+* full cache state (resident lines, their bytes, dirty bits, **LRU
+  order** — it steers future evictions — and the stats counters),
+* backing-memory bytes,
+* fault-log contents, and
+* telemetry counters.
+
+Batches deliberately include region-straddling addresses (errors must
+surface at the same op index with the same partial side effects) and
+poisoned lines hit mid-batch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.rack import RackConfig, RackMachine, UncorrectableMemoryError
+from repro.rack.machine import RackMachine as _RM  # noqa: F401 (import sanity)
+from repro.rack.memory import MemoryError_
+from repro.rack.params import FaultModel
+
+LINE = 64
+GSIZE = 1 << 16
+LSIZE = 1 << 16
+
+
+def _config(seed: int, faults: FaultModel = None) -> RackConfig:
+    return RackConfig(
+        n_nodes=2,
+        local_mem_size=LSIZE,
+        global_mem_size=GSIZE,
+        cache_lines=64,  # small enough that batches force evictions
+        faults=faults or FaultModel(),
+        seed=seed,
+    )
+
+
+def _state(m: RackMachine) -> dict:
+    """Every observable of a machine, snapshot for equality checks."""
+    out = {}
+    for nid, node in m.nodes.items():
+        s = node.cache.stats
+        out[f"cache{nid}"] = [
+            (base, bytes(line.data), line.dirty)
+            for base, line in node.cache._lines.items()  # insertion order == LRU order
+        ]
+        out[f"stats{nid}"] = (s.hits, s.misses, s.writebacks, s.invalidations, s.evictions)
+        out[f"clock{nid}"] = node.clock.now_ns
+        out[f"local{nid}"] = bytes(node.local_mem._buf)
+        out[f"poison{nid}"] = sorted(node.local_mem.poisoned)
+    out["gmem"] = bytes(m.global_mem._buf)
+    out["gpoison"] = sorted(m.global_mem.poisoned)
+    out["faults"] = [
+        (e.kind.value, e.addr, e.node_id, e.time_ns) for e in m.faults.log.events()
+    ]
+    return out
+
+
+def _addr_batch(rng: random.Random, m: RackMachine, n: int, size: int, straddle: bool) -> list:
+    """Addresses across both legal regions; optionally one that falls
+    off the end of the global region mid-batch."""
+    g = m.global_base
+    loc = m.local_base(0)
+    addrs = []
+    for _ in range(n):
+        if rng.random() < 0.3:
+            addrs.append(loc + rng.randrange(0, LSIZE - size))
+        else:
+            addrs.append(g + rng.randrange(0, GSIZE - size))
+    if straddle and n >= 2:
+        addrs[rng.randrange(1, n)] = g + GSIZE - max(1, size // 2)
+    return addrs
+
+
+def _apply(fn):
+    """Run ``fn``, capturing a raised error as a comparable value."""
+    try:
+        return ("ok", fn())
+    except (MemoryError_, ValueError) as e:
+        return ("err", type(e).__name__, str(e))
+
+
+def _loop(fn, items):
+    """Run ``fn`` per item for effect (a store loop returns nothing)."""
+    for it in items:
+        fn(it)
+
+
+def _pair(seed: int, faults: FaultModel = None):
+    cfg = _config(seed, faults)
+    return RackMachine(cfg), RackMachine(cfg)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("bypass", [False, True])
+def test_load_many_equals_loop(seed, bypass):
+    ma, mb = _pair(seed)
+    rng = random.Random(seed * 31 + 7)
+    for batch in range(8):
+        size = rng.choice([1, 7, 8, 64, 100, 256])
+        n = rng.randrange(1, 40)
+        straddle = batch == 5
+        addrs = _addr_batch(rng, ma, n, size, straddle)
+        # seed some content so loads return non-trivial bytes
+        blob = bytes(rng.randrange(256) for _ in range(size))
+        for m in (ma, mb):
+            m.store(0, addrs[0], blob, bypass_cache=True)
+        ra = _apply(lambda: ma.load_many(0, addrs, size, bypass_cache=bypass))
+        rb = _apply(lambda: [mb.load(0, a, size, bypass_cache=bypass) for a in addrs])
+        assert ra == rb
+        assert _state(ma) == _state(mb)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("bypass", [False, True])
+def test_store_many_equals_loop(seed, bypass):
+    ma, mb = _pair(seed)
+    rng = random.Random(seed * 137 + 3)
+    for batch in range(8):
+        if rng.random() < 0.7:
+            size = rng.choice([1, 8, 64, 100])
+            sizes = [size] * rng.randrange(1, 40)
+        else:  # ragged payload sizes (sequential-only shape)
+            sizes = [rng.choice([1, 8, 64, 100]) for _ in range(rng.randrange(1, 20))]
+        addrs = _addr_batch(rng, ma, len(sizes), max(sizes), batch == 5)
+        if batch == 6 and len(addrs) >= 2:
+            addrs[-1] = addrs[0]  # duplicate target: op order must win
+        data = [bytes(rng.randrange(256) for _ in range(s)) for s in sizes]
+        ra = _apply(lambda: ma.store_many(0, addrs, data, bypass_cache=bypass))
+        rb = _apply(
+            lambda: _loop(
+                lambda ad: mb.store(0, ad[0], ad[1], bypass_cache=bypass),
+                zip(addrs, data),
+            )
+        )
+        assert ra == rb
+        assert _state(ma) == _state(mb)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("bypass", [True, False])
+def test_store_many_packed_equals_loop(seed, bypass):
+    """The packed-buffer form (one blob + explicit size) must match the
+    loop of single stores of the split payloads, including the
+    region-straddling fallback and duplicate-target sequential shapes."""
+    ma, mb = _pair(seed)
+    rng = random.Random(seed * 211 + 5)
+    for batch in range(6):
+        size = rng.choice([1, 8, 64, 100])
+        n = rng.randrange(1, 40)
+        addrs = _addr_batch(rng, ma, n, size, batch == 3)
+        if batch == 4 and n >= 2:
+            addrs[-1] = addrs[0]
+        packed = bytes(rng.randrange(256) for _ in range(n * size))
+        chunks = [packed[i * size : (i + 1) * size] for i in range(n)]
+        ra = _apply(
+            lambda: ma.store_many(0, addrs, packed, bypass_cache=bypass, size=size)
+        )
+        rb = _apply(
+            lambda: _loop(
+                lambda ad: mb.store(0, ad[0], ad[1], bypass_cache=bypass),
+                zip(addrs, chunks),
+            )
+        )
+        assert ra == rb
+        assert _state(ma) == _state(mb)
+    # arity errors: wrong packed length, bad size
+    with pytest.raises(ValueError):
+        ma.store_many(0, [ma.global_base], b"\x00" * 7, size=8)
+    with pytest.raises(ValueError):
+        ma.store_many(0, [ma.global_base], b"", size=0)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_bulk_with_poison_mid_batch(seed):
+    ma, mb = _pair(seed)
+    rng = random.Random(seed + 99)
+    g = ma.global_base
+    addrs = [g + i * LINE for i in range(24)]
+    victim = addrs[rng.randrange(4, 20)] - g
+    for m in (ma, mb):
+        m.global_mem.poison(victim + 3)
+    ra = _apply(lambda: ma.load_many(0, addrs, 8, bypass_cache=True))
+    rb = _apply(lambda: [mb.load(0, a, 8, bypass_cache=True) for a in addrs])
+    assert ra == rb and ra[0] == "err" and ra[1] == "UncorrectableMemoryError"
+    assert _state(ma) == _state(mb)
+    # stores clear poison per window, in op order
+    data = [b"\xee" * 8] * len(addrs)
+    ra = _apply(lambda: ma.store_many(0, addrs, data, bypass_cache=True))
+    rb = _apply(
+        lambda: _loop(lambda a: mb.store(0, a, b"\xee" * 8, bypass_cache=True), addrs)
+    )
+    assert ra == rb
+    assert _state(ma) == _state(mb)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_bulk_under_fault_injection_equals_loop(seed):
+    """With fault rates armed the bulk path must defer to the sequential
+    machinery: RNG draws and event timestamps interleave per op."""
+    faults = FaultModel(global_ce_rate=0.05, global_ue_rate=0.02, local_ce_rate=0.01)
+    ma, mb = _pair(seed, faults)
+    rng = random.Random(seed * 7 + 1)
+    for _ in range(4):
+        addrs = _addr_batch(rng, ma, 20, 8, False)
+        ra = _apply(lambda: ma.load_many(0, addrs, 8, bypass_cache=True))
+        rb = _apply(lambda: [mb.load(0, a, 8, bypass_cache=True) for a in addrs])
+        assert ra == rb
+        assert _state(ma) == _state(mb)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_atomic_many_equals_loop(seed):
+    ma, mb = _pair(seed)
+    rng = random.Random(seed * 11 + 5)
+    g = ma.global_base
+    loc = ma.local_base(0)
+    for batch in range(6):
+        width = rng.choice([1, 2, 4, 8])
+        n = rng.randrange(1, 24)
+        pool = [g + rng.randrange(0, GSIZE // width - 1) * width for _ in range(n)]
+        if rng.random() < 0.4:
+            pool[0] = loc + rng.randrange(0, LSIZE // width - 1) * width
+        if batch == 3 and n >= 2:
+            pool[-1] = pool[0]  # duplicates chain: must go sequential
+        if batch == 4:
+            pool[0] += 1 if width > 1 else 0  # misalignment raises at index 0
+        deltas = [rng.randrange(-300, 300) for _ in range(n)]
+        ra = _apply(lambda: ma.atomic_fetch_add_many(0, pool, deltas, width))
+        rb = _apply(
+            lambda: [mb.atomic_fetch_add(0, a, d, width) for a, d in zip(pool, deltas)]
+        )
+        if ra[0] == "err":
+            assert ra[1] == rb[1]
+        else:
+            assert ra == rb
+        assert _state(ma) == _state(mb)
+        exp = [rng.choice([0, 1, -1, 255, rng.randrange(1 << 8 * width)]) for _ in range(n)]
+        new = [rng.randrange(1 << 8 * width) for _ in range(n)]
+        ra = _apply(lambda: ma.atomic_cas_many(0, pool, exp, new, width))
+        rb = _apply(
+            lambda: [mb.atomic_cas(0, a, e, v, width) for a, e, v in zip(pool, exp, new)]
+        )
+        if ra[0] == "err":
+            assert ra[1] == rb[1]
+        else:
+            assert ra == rb
+        assert _state(ma) == _state(mb)
+
+
+def test_atomic_many_with_cached_line_invalidates_like_loop():
+    """A batch touching a line the node has cached must still invalidate
+    it (sequential path), leaving cache state identical to the loop."""
+    ma, mb = _pair(0)
+    g = ma.global_base
+    for m in (ma, mb):
+        m.load(0, g, 8)  # cache the line the atomics will hit
+    addrs = [g, g + 8, g + 16]
+    ra = ma.atomic_fetch_add_many(0, addrs, 1)
+    rb = [mb.atomic_fetch_add(0, a, 1) for a in addrs]
+    assert ra == rb
+    assert _state(ma) == _state(mb)
+    assert g & ~63 not in ma.nodes[0].cache._lines
+
+
+def test_copy_and_fill_equal_load_store():
+    ma, mb = _pair(0)
+    g = ma.global_base
+    blob = bytes(range(256)) * 16
+    for m in (ma, mb):
+        m.store(0, g, blob, bypass_cache=True)
+    ma.copy(0, g + 8192, g, len(blob), bypass_cache=True)
+    mb.store(0, g + 8192, mb.load(0, g, len(blob), bypass_cache=True), bypass_cache=True)
+    assert ma.now(0) == mb.now(0)
+    assert ma.load(0, g + 8192, len(blob), bypass_cache=True) == blob
+    mb.load(0, g + 8192, len(blob), bypass_cache=True)  # keep clocks in step
+    ma.fill(0, g + 4096, 1024, 0xAB, bypass_cache=True)
+    mb.store(0, g + 4096, b"\xab" * 1024, bypass_cache=True)
+    assert _state(ma) == _state(mb)
+    # overlapping same-device copy behaves as read-then-write
+    ma.copy(0, g + 16, g, 256, bypass_cache=True)
+    assert ma.load(0, g + 16, 256, bypass_cache=True) == blob[:256]
+    mb.copy(0, g + 16, g, 256, bypass_cache=True)
+    mb.load(0, g + 16, 256, bypass_cache=True)
+    # cached variants route through the cached load/store pair
+    ma.copy(0, g + 20480, g + 8192, 128)
+    mb.store(0, g + 20480, mb.load(0, g + 8192, 128))
+    assert _state(ma) == _state(mb)
+    ma.fill(0, g + 21504, 64, 0x11)
+    mb.store(0, g + 21504, b"\x11" * 64)
+    assert _state(ma) == _state(mb)
+
+
+def test_bulk_telemetry_counters_match_loop():
+    """Aggregated batch records must land on exactly the counter values
+    the single-op loop produces (sampling off: exact by construction)."""
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        ma, mb = _pair(0)
+        g = ma.global_base
+        addrs = [g + i * 8 for i in range(64)]
+        reg = telemetry.TELEMETRY.registry
+        ma.load_many(0, addrs, 8, bypass_cache=True)
+        a_ctrs = dict(reg.counters)
+        reg.clear()
+        for a in addrs:
+            mb.load(0, a, 8, bypass_cache=True)
+        assert dict(reg.counters) == a_ctrs
+        reg.clear()
+        ma.load_many(0, addrs, 8)  # cold: misses
+        ma.load_many(0, addrs, 8)  # warm: fused hit loop
+        a_ctrs = dict(reg.counters)
+        reg.clear()
+        for _ in range(2):
+            for a in addrs:
+                mb.load(0, a, 8)
+        assert dict(reg.counters) == a_ctrs
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+def test_per_subsystem_sampling_decimates_unbiased():
+    """``set_sampling(sub, s)`` records every s-th event with weight s:
+    totals stay unbiased while hot sites skip most registry work."""
+    telemetry.reset()
+    telemetry.enable()
+    tel = telemetry.TELEMETRY
+    try:
+        tel.set_sampling("rack.machine", 8)
+        assert tel.sampling_active
+        m = RackMachine(_config(0))
+        g = m.global_base
+        m.load(0, g, 8)  # miss: 2 events (cache.miss + cache.remote_fetch)
+        for _ in range(798):
+            m.load(0, g, 8)  # hits: 798 events -> 800 total, stride-aligned
+        reg = tel.registry
+        total = sum(
+            v for (_n, sub, _name), v in reg.counters.items() if sub == "rack.machine"
+        )
+        assert total == 800  # decimation weights exactly compensate
+        assert m.nodes[0].cache.stats.hits == 798  # sim state untouched
+    finally:
+        tel.set_sampling(None)
+        telemetry.disable()
+        telemetry.reset()
+
+
+def test_load_many_concat_and_empty():
+    m = RackMachine(_config(0))
+    g = m.global_base
+    m.store(0, g, bytes(range(64)), bypass_cache=True)
+    addrs = [g, g + 16, g + 32]
+    parts = m.load_many(0, addrs, 16, bypass_cache=True)
+    packed = m.load_many(0, addrs, 16, bypass_cache=True, concat=True)
+    assert b"".join(parts) == packed == bytes(range(48))
+    assert m.load_many(0, [], 8) == []
+    assert m.load_many(0, [], 8, concat=True) == b""
+    m.store_many(0, [], [])
+    assert m.atomic_fetch_add_many(0, [], 1) == []
+    assert m.atomic_cas_many(0, [], [], []) == []
+    with pytest.raises(ValueError):
+        m.store_many(0, [g], [b"x", b"y"])
+    with pytest.raises(ValueError):
+        m.atomic_fetch_add_many(0, [g], [1, 2])
+    with pytest.raises(ValueError):
+        m.atomic_cas_many(0, [g, g + 8], [1], [2, 3])

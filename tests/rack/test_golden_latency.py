@@ -7,12 +7,11 @@ counters, or the seeded fault-event sequence.  These tests pin all three
 against values recorded by running the *pre-optimization* data plane
 over a scripted access pattern.
 
-The only intentional deviation is the ``_charge_bulk`` write-flag bugfix
-(ISSUE 1 satellite): bypass-cache *stores* now additionally charge
-``writeback_line_ns`` per line, exactly like ``_charge_writeback``.  The
-affected steps are listed in ``_BYPASS_WRITE_LINES`` and their golden
-values are adjusted by that known delta — everything else must match the
-recording bit for bit.
+Bypass (non-temporal) stores charge symmetrically with bypass loads
+(ISSUE 6 satellite): the interim write-flag adjustment double-counted
+``writeback_line_ns`` on lines that were never cached, so the recorded
+``bypass_store_*`` values — equal to their ``bypass_load_*`` twins — are
+exact again and every step must match the recording bit for bit.
 
 Regenerate (only if the latency *model* intentionally changes)::
 
@@ -85,9 +84,8 @@ def _run_latency_pattern(cfg: RackConfig) -> Tuple[List[Tuple[str, int, float]],
     run("local_load_hit", 0, lambda: m.load(0, loc + 128, 8))
     run("local_store_hit", 0, lambda: m.store(0, loc + 128, b"\x99" * 8))
 
-    # bypass stores LAST on node 0: the write-flag bugfix shifts their
-    # charge, which would perturb the clock base (and hence the float
-    # subtraction) of any later step on the same node.
+    # bypass stores last on node 0 (recorded order; moving them would
+    # shift later steps' clock bases and their float subtraction)
     run("bypass_store_4k", 0, lambda: m.store(0, g + 8192, b"\x55" * 4096, bypass_cache=True))
     run("bypass_store_1line", 0, lambda: m.store(0, g + 8192, b"\x66" * 8, bypass_cache=True))
     run("bypass_store_local", 0, lambda: m.store(0, loc, b"\x77" * 4096, bypass_cache=True))
@@ -164,14 +162,6 @@ def _run_fault_pattern() -> List[Tuple[str, int, int, float]]:
 
 
 # -- golden recordings (pre-optimization data plane) -------------------------
-
-#: Steps whose charged time legitimately shifts under the write-flag fix:
-#: label -> number of lines the bypass store touches.
-_BYPASS_WRITE_LINES = {
-    "bypass_store_4k": 64,
-    "bypass_store_1line": 1,
-    "bypass_store_local": 64,
-}
 
 _GOLDEN = {'dual_direct_1hop': {'stats': {'node0': (12, 8, 8, 8, 0), 'node1': (1, 1, 1, 0, 0)},
                       'steps': [('load_miss_1line', 0, 322.0),
@@ -354,40 +344,91 @@ def _dump() -> None:  # pragma: no cover - regeneration helper
 # -- tests -------------------------------------------------------------------
 
 
-def _assert_steps_match(recorded, live, writeback_line_ns):
+def _assert_steps_match(recorded, live):
     assert len(recorded) == len(live)
     for (glabel, gnode, gdelta), (label, node, delta) in zip(recorded, live):
         assert label == glabel and node == gnode
-        lines = _BYPASS_WRITE_LINES.get(label)
-        if lines:
-            # intentional shift: the write flag now charges write-back cost.
-            # Tolerance is one float ulp of slack — earlier shifted steps
-            # move this step's clock base, so the (after - before)
-            # subtraction can round differently.
-            expected = gdelta + lines * writeback_line_ns
-            assert abs(delta - expected) < 1e-6, (
-                f"{label}: charged {delta} ns, expected {expected} ns"
-            )
-        else:
-            # bit-identical to the pre-optimization data plane
-            assert delta == gdelta, (
-                f"{label}: charged {delta} ns, golden {gdelta} ns"
-            )
+        # bit-identical to the pre-optimization data plane
+        assert delta == gdelta, f"{label}: charged {delta} ns, golden {gdelta} ns"
 
 
 def test_golden_latency_all_topologies():
     for name, cfg in _topologies().items():
         steps, stats = _run_latency_pattern(cfg)
         golden = _GOLDEN[name]
-        _assert_steps_match(golden["steps"], steps, cfg.latency.writeback_line_ns)
+        _assert_steps_match(golden["steps"], steps)
         assert stats == golden["stats"], f"{name}: cache counters diverged"
 
 
 def test_golden_eviction_charges():
     steps, stats = _run_eviction_pattern()
     golden = _GOLDEN["eviction_4line"]
-    _assert_steps_match(golden["steps"], steps, 2.0)
+    _assert_steps_match(golden["steps"], steps)
     assert stats == golden["stats"]
+
+
+def test_bypass_store_load_charge_symmetry():
+    """ISSUE 6 satellite: a non-temporal store charges exactly what the
+    equivalent non-temporal load does — no writeback term for lines that
+    were never cached (flush still charges write-back per dirty line)."""
+    for name, cfg in _topologies().items():
+        m = RackMachine(cfg)
+        g = m.global_base
+        for size in (8, 64, 4096):
+            before = m.now(0)
+            m.load(0, g, size, bypass_cache=True)
+            load_ns = m.now(0) - before
+            before = m.now(1)
+            m.store(1, g, b"\x5a" * size, bypass_cache=True)
+            store_ns = m.now(1) - before
+            assert store_ns == load_ns, (name, size)
+        # the golden recording pins the same equality
+        steps = dict((lbl, d) for lbl, _n, d in _GOLDEN[name]["steps"])
+        assert steps["bypass_store_4k"] == steps["bypass_load_4k"]
+
+
+def test_golden_bulk_charges_bit_identical_to_loop():
+    """ISSUE 6 tentpole invariant: every bulk op charges simulated ns
+    bit-identically to the loop of single ops it replaces, on every
+    recorded topology, for bypass, cached, and atomic batches."""
+    for name, cfg in _topologies().items():
+        ma, mb = RackMachine(cfg), RackMachine(cfg)
+        g = ma.global_base
+        loc = ma.local_base(0)
+        addrs = [g + i * 64 for i in range(32)] + [loc + i * 64 for i in range(8)]
+
+        ma.load_many(0, addrs, 8, bypass_cache=True)
+        for a in addrs:
+            mb.load(0, a, 8, bypass_cache=True)
+        assert ma.now(0) == mb.now(0), (name, "bypass load")
+
+        payload = [b"\x5a" * 8] * len(addrs)
+        ma.store_many(0, addrs, payload, bypass_cache=True)
+        for a in addrs:
+            mb.store(0, a, b"\x5a" * 8, bypass_cache=True)
+        assert ma.now(0) == mb.now(0), (name, "bypass store")
+
+        # cached: cold pass (misses) then warm pass (fused hit loop)
+        for _ in range(2):
+            ma.load_many(0, addrs, 8)
+            for a in addrs:
+                mb.load(0, a, 8)
+            assert ma.now(0) == mb.now(0), (name, "cached load")
+        ma.store_many(0, addrs, payload)
+        for a in addrs:
+            mb.store(0, a, b"\x5a" * 8)
+        assert ma.now(0) == mb.now(0), (name, "cached store")
+
+        loc1 = ma.local_base(1)
+        atomics = [g + 65536 + i * 8 for i in range(16)] + [loc1 + 8192 + i * 8 for i in range(4)]
+        ma.atomic_fetch_add_many(1, atomics, 3)
+        for a in atomics:
+            mb.atomic_fetch_add(1, a, 3)
+        assert ma.now(1) == mb.now(1), (name, "fetch_add batch")
+        ma.atomic_cas_many(1, atomics, [3] * len(atomics), [7] * len(atomics))
+        for a in atomics:
+            mb.atomic_cas(1, a, 3, 7)
+        assert ma.now(1) == mb.now(1), (name, "cas batch")
 
 
 def test_seeded_fault_sequence_identical():
@@ -433,7 +474,7 @@ def test_golden_latency_with_telemetry_enabled():
         for name, cfg in _topologies().items():
             steps, stats = _run_latency_pattern(cfg)
             golden = _GOLDEN[name]
-            _assert_steps_match(golden["steps"], steps, cfg.latency.writeback_line_ns)
+            _assert_steps_match(golden["steps"], steps)
             assert stats == golden["stats"], f"{name}: cache counters diverged"
         # and the registry actually saw the traffic
         reg = telemetry.TELEMETRY.registry
