@@ -134,6 +134,15 @@ class MiniRedisServer:
         except TypeError:
             return Exception(f"wrong number of arguments for '{verb}'")
 
+    def execute_batch(self, commands: List[List[bytes]]) -> List[Any]:
+        """Execute many commands back to back, no transport in between.
+
+        The server-side half of a pipelined/coalesced batch (the traffic
+        engine's MGET/MSET path): per-command cost is still charged by
+        :meth:`execute`, but the caller pays no per-command framing.
+        """
+        return [self.execute(command) for command in commands]
+
     def _live(self, key: bytes) -> Optional[_Entry]:
         entry = self._data.get(key)
         if entry is None:

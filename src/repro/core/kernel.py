@@ -49,6 +49,7 @@ from .fs import FlacFS
 from .interrupts import InterruptController, IrqBalancer
 from .ipc import IpcSystem, NameRegistry, ProcessMigrator, RpcSystem
 from .memory import MemorySystem, PAGE_SIZE
+from .events import EventCore
 from .params import OsCosts
 from .sched import RackScheduler
 
@@ -85,6 +86,10 @@ class NodeOS:
         """What the idle loop does: safe-point duties + background work."""
         self.service_shootdowns()
         self.poll_interrupts()
+        # pump the discrete-event core up to the rack's frontier so
+        # event-driven subsystems (scheduler drains, traffic wake-ups)
+        # make progress even under a purely tick-driven caller
+        self.kernel.events.run(until_ns=self.kernel.machine.max_time())
         self.run_tasks(max_tasks=16)
         self.heartbeat()
         self.kernel.fs.writeback_daemon_step(self.ctx, limit=16)
@@ -191,6 +196,10 @@ class FlacOS:
             ring_alloc=self.ipc.heap.alloc,
             costs=self.costs,
         )
+        #: rack-wide discrete-event core; subsystems register wake-ups
+        #: instead of being polled every tick
+        self.events = EventCore(machine)
+        self.scheduler.bind_events(self.events)
 
         # active health (repro.telemetry.health); opt-in via attach_health
         self.health = None

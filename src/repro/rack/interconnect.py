@@ -10,13 +10,17 @@ access.  Paths are recomputed lazily when topology changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import networkx as nx
 
 
 class InterconnectError(Exception):
     """No usable path between a node and global memory."""
+
+
+class VniError(Exception):
+    """Unknown or duplicate VNI registration."""
 
 
 #: Vertex naming convention in the fabric graph.
@@ -39,6 +43,154 @@ class PathCost:
     switches: int
 
 
+@dataclass
+class VniStats:
+    """Lifetime accounting for one VNI (tenant)."""
+
+    bytes: int = 0
+    requests: int = 0
+    dropped: int = 0
+    #: windowed rate state (see :meth:`VniTable.charge`)
+    window_start_ns: float = 0.0
+    window_bytes: int = 0
+    rate_bytes_per_s: float = 0.0
+
+
+class VniTable:
+    """Per-tenant traffic tags on the fabric (Slingshot VNI style).
+
+    HPE Slingshot isolates tenants by stamping every packet with a
+    *Virtual Network Identifier* and accounting / policing traffic per
+    VNI at the switches.  This is that model for our fabric: tenants
+    register a VNI, every batch the traffic engine moves is charged to
+    its VNI, and the table maintains per-VNI windowed byte rates plus an
+    aggregate, so admission control can tell *which tenant* is driving
+    the fabric past capacity and police only the over-share ones.
+
+    All accounting is in simulated time and pure integer/float state —
+    charging a VNI never advances a clock and is deterministic, so it
+    can sit on the hot path without perturbing golden latencies.
+    """
+
+    def __init__(self, capacity_bytes_per_s: float = float("inf"),
+                 window_ns: float = 1e6) -> None:
+        self.capacity_bytes_per_s = float(capacity_bytes_per_s)
+        self.window_ns = float(window_ns)
+        self._by_name: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._weights: List[float] = []
+        self.stats: List[VniStats] = []
+        self._agg = VniStats()
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, name: str, weight: float = 1.0) -> int:
+        """Assign the next VNI to ``name``; ids are dense and ordered by
+        registration, so a seeded run assigns identical tags."""
+        if name in self._by_name:
+            raise VniError(f"tenant {name!r} already holds VNI {self._by_name[name]}")
+        if weight <= 0:
+            raise VniError(f"VNI weight must be positive, got {weight}")
+        vni = len(self._names)
+        self._by_name[name] = vni
+        self._names.append(name)
+        self._weights.append(float(weight))
+        self.stats.append(VniStats())
+        return vni
+
+    def vni_of(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise VniError(f"no VNI registered for tenant {name!r}") from None
+
+    def name_of(self, vni: int) -> str:
+        self._check(vni)
+        return self._names[vni]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # -- accounting ------------------------------------------------------------
+
+    def charge(self, vni: int, n_bytes: int, requests: int, now_ns: float) -> None:
+        """Account ``n_bytes`` / ``requests`` of fabric traffic to ``vni``.
+
+        Windowed rates roll when a window's worth of simulated time has
+        elapsed: the completed window's bytes over its actual span
+        become the VNI's current ``rate_bytes_per_s``.  Long silences
+        therefore decay the rate on the next charge.
+        """
+        self._check(vni)
+        for s in (self.stats[vni], self._agg):
+            elapsed = now_ns - s.window_start_ns
+            if elapsed >= self.window_ns and elapsed > 0:
+                s.rate_bytes_per_s = s.window_bytes * 1e9 / elapsed
+                s.window_start_ns = now_ns
+                s.window_bytes = 0
+            s.bytes += n_bytes
+            s.window_bytes += n_bytes
+            s.requests += requests
+        # dropped is per-VNI only; aggregate drops derive from the sum
+
+    def drop(self, vni: int, requests: int) -> None:
+        """Count ``requests`` refused admission for ``vni``."""
+        self._check(vni)
+        self.stats[vni].dropped += requests
+
+    # -- policy queries --------------------------------------------------------
+
+    def rate_bytes_per_s(self, vni: Optional[int] = None) -> float:
+        """Last completed-window byte rate for one VNI (or aggregate)."""
+        if vni is None:
+            return self._agg.rate_bytes_per_s
+        self._check(vni)
+        return self.stats[vni].rate_bytes_per_s
+
+    def utilisation(self) -> float:
+        """Aggregate windowed rate over fabric capacity (inf capacity -> 0)."""
+        if self.capacity_bytes_per_s == float("inf"):
+            return 0.0
+        return self._agg.rate_bytes_per_s / self.capacity_bytes_per_s
+
+    def saturated(self) -> bool:
+        return self.utilisation() >= 1.0
+
+    def fair_share_bytes_per_s(self, vni: int) -> float:
+        """``vni``'s weighted share of fabric capacity."""
+        self._check(vni)
+        total = sum(self._weights)
+        if total <= 0 or self.capacity_bytes_per_s == float("inf"):
+            return float("inf")
+        return self.capacity_bytes_per_s * self._weights[vni] / total
+
+    def over_share(self, vni: int) -> bool:
+        """Is ``vni`` running past its weighted share of the fabric?"""
+        return self.rate_bytes_per_s(vni) > self.fair_share_bytes_per_s(vni)
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready accounting dump (sorted by VNI)."""
+        return {
+            "capacity_bytes_per_s": self.capacity_bytes_per_s,
+            "vnis": [
+                {
+                    "vni": vni,
+                    "tenant": self._names[vni],
+                    "weight": self._weights[vni],
+                    "bytes": s.bytes,
+                    "requests": s.requests,
+                    "dropped": s.dropped,
+                    "rate_bytes_per_s": round(s.rate_bytes_per_s, 3),
+                }
+                for vni, s in enumerate(self.stats)
+            ],
+        }
+
+    def _check(self, vni: int) -> None:
+        if not 0 <= vni < len(self._names):
+            raise VniError(f"no VNI {vni} (have {len(self._names)})")
+
+
 class Interconnect:
     """A fabric graph with per-link health and cached path costs."""
 
@@ -49,6 +201,8 @@ class Interconnect:
         #: path-derived memos (the machine's charge tables) compare-and-drop.
         self.generation = 0
         self._down_links: set = set()
+        #: per-tenant traffic tags (VNI accounting + admission policy)
+        self.vnis = VniTable()
         if graph is not None:
             for u, v, attrs in graph.edges(data=True):
                 if not attrs.get("up", True):

@@ -457,6 +457,32 @@ class RackMachine:
         self._bulk_atomic_epilogue(node, addrs, groups)
         return old.tolist()
 
+    def atomic_load_many(
+        self, node_id: int, addrs: Sequence[int], width: int = 8
+    ) -> List[int]:
+        """Batched :meth:`atomic_load` (coherent scatter-gather read).
+
+        The read-only member of the bulk atomics family: one plan, one
+        gather per region, charges accumulated in op order — identical
+        observables to a loop of single ``atomic_load`` calls.  Batches
+        the plan rejects (duplicates, cached lines, armed faults, ...)
+        fall back to that loop.
+        """
+        n = len(addrs)
+        if n == 0:
+            return []
+        plan = self._bulk_atomic_plan(node_id, addrs, width)
+        if plan is None:
+            return [self.atomic_load(node_id, a, width) for a in addrs]
+        node, groups = plan
+        dtype = np.dtype(_INT_DTYPE[width])
+        out = np.empty(n, dtype=dtype)
+        for region, idx, offs in groups:
+            rows = region.device.gather(offs, width)
+            out[idx] = rows.view(dtype).ravel()
+        self._bulk_atomic_epilogue(node, addrs, groups)
+        return out.tolist()
+
     def atomic_cas_many(
         self,
         node_id: int,
@@ -1236,6 +1262,9 @@ class NodeContext:
         width: int = 8,
     ) -> List[Tuple[bool, int]]:
         return self.machine.atomic_cas_many(self.node_id, addrs, expected, new, width)
+
+    def atomic_load_many(self, addrs: Sequence[int], width: int = 8) -> List[int]:
+        return self.machine.atomic_load_many(self.node_id, addrs, width)
 
     # atomics
     def cas(self, addr: int, expected: int, new: int, width: int = 8) -> Tuple[bool, int]:

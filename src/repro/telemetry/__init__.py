@@ -50,6 +50,15 @@ from .spans import Span, TraceBuffer, validate_chrome_trace
 
 RUN_SCHEMA = "repro.telemetry.run/1"
 
+#: Subsystem prefix for tenant-scoped metrics (one subsystem per tenant,
+#: so existing keying/export/digest machinery applies unchanged).
+TENANT_PREFIX = "traffic/"
+
+
+def tenant_subsystem(tenant: str) -> str:
+    """The subsystem string carrying ``tenant``'s scoped metrics."""
+    return TENANT_PREFIX + tenant
+
 
 class TelemetryState:
     """The process-wide telemetry switchboard.
@@ -154,6 +163,24 @@ class TelemetryState:
         """
         self.registry.add((node, subsystem, name), delta)
 
+    def observe_batch(self, node: int, subsystem: str, name: str, values) -> None:
+        """Record a whole batch of histogram samples in one call.
+
+        Aggregated like :meth:`add` — never sampled, exact by
+        construction, and still free in simulated time.
+        """
+        self.registry.observe_batch(node, subsystem, name, values)
+
+    # -- tenant scoping --------------------------------------------------------
+
+    def tenant_add(self, node: int, tenant: str, name: str, delta: float = 1.0) -> None:
+        """Aggregated counter delta scoped to one tenant."""
+        self.registry.add((node, tenant_subsystem(tenant), name), delta)
+
+    def tenant_observe_batch(self, node: int, tenant: str, name: str, values) -> None:
+        """Batch histogram samples scoped to one tenant."""
+        self.registry.observe_batch(node, tenant_subsystem(tenant), name, values)
+
     # -- export ----------------------------------------------------------------
 
     def export_run(self, meta: Optional[dict] = None) -> dict:
@@ -242,8 +269,10 @@ __all__ = [
     "RUN_SCHEMA",
     "Span",
     "TELEMETRY",
+    "TENANT_PREFIX",
     "TelemetryState",
     "TraceBuffer",
+    "tenant_subsystem",
     "bucket_index",
     "disable",
     "enable",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from . import TENANT_PREFIX
 from .registry import Histogram, MetricsRegistry, RACK_WIDE, rate
 
 
@@ -146,6 +147,37 @@ def render_headline(reg: MetricsRegistry) -> str:
     return "\n\n".join(lines)
 
 
+def render_tenants(reg: MetricsRegistry) -> str:
+    """Per-tenant traffic breakout: request/drop counts and latency
+    percentiles from the tenant-scoped ``traffic/<name>`` subsystems."""
+    tenants = reg.tenants(TENANT_PREFIX)
+    if not tenants:
+        return ""
+    grid = _Grid(
+        "per-tenant traffic",
+        ["tenant", "requests", "admitted", "dropped (backlog/link)",
+         "bytes", "lat p50 (ns)", "lat p99 (ns)"],
+    )
+    for tenant in tenants:
+        sub = TENANT_PREFIX + tenant
+        requests = reg.counter_total(sub, "requests")
+        admitted = reg.counter_total(sub, "admitted")
+        d_backlog = reg.counter_total(sub, "dropped.backlog")
+        d_link = reg.counter_total(sub, "dropped.link")
+        n_bytes = reg.counter_total(sub, "bytes")
+        lat = _hist_union(reg, sub, "latency_ns")
+        grid.add(
+            tenant,
+            _fmt(requests),
+            _fmt(admitted),
+            f"{_fmt(d_backlog + d_link)} ({_fmt(d_backlog)}/{_fmt(d_link)})",
+            _fmt(n_bytes),
+            _fmt(lat.percentile(0.5)) if lat and lat.count else "-",
+            _fmt(lat.percentile(0.99)) if lat and lat.count else "-",
+        )
+    return grid.render()
+
+
 def render_subsystems(reg: MetricsRegistry) -> str:
     """Every metric, grouped by subsystem, nodes as columns."""
     sections = []
@@ -183,6 +215,9 @@ def render_dashboard(run: dict, flame: bool = True) -> str:
     headline = render_headline(reg)
     if headline:
         parts.append(headline)
+    tenants = render_tenants(reg)
+    if tenants:
+        parts.append(tenants)
     parts.append(render_subsystems(reg))
     if flame and run.get("trace"):
         from .spans import TraceBuffer, Span

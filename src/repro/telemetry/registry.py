@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 #: One metric's identity: (node, subsystem, name).
 MetricKey = Tuple[int, str, str]
 
@@ -39,6 +41,8 @@ RACK_WIDE = -1
 #: exports and digests are stable across runs and machines.
 N_BUCKETS = 42  # indices 0..40 = bounds 2^0..2^40, index 41 = overflow
 BUCKET_BOUNDS: Tuple[float, ...] = tuple(float(1 << i) for i in range(41))
+#: Array form for the vectorized bucket search (``observe_batch``).
+_BOUNDS_ARR = np.asarray(BUCKET_BOUNDS, dtype=np.float64)
 
 
 def bucket_index(value: float) -> int:
@@ -75,6 +79,32 @@ class Histogram:
         if value > self.max_value:
             self.max_value = value
         self.buckets[bucket_index(value)] += 1
+
+    def observe_batch(self, values) -> None:
+        """Observe many values in one vectorized pass.
+
+        Exactly equivalent to a loop of :meth:`observe`: the bucket
+        search (``searchsorted`` against the fixed bounds, side="left")
+        lands every value in the same bucket ``bucket_index`` would, and
+        the running sum uses a strict left fold (``np.add.accumulate``)
+        so the float total is bit-identical to sequential adds.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        self.total += float(np.add.accumulate(values)[-1])
+        lo = float(values.min())
+        hi = float(values.max())
+        if lo < self.min_value:
+            self.min_value = lo
+        if hi > self.max_value:
+            self.max_value = hi
+        idx = np.searchsorted(_BOUNDS_ARR, values, side="left")
+        per_bucket = np.bincount(idx, minlength=N_BUCKETS)
+        buckets = self.buckets
+        for i in np.nonzero(per_bucket)[0]:
+            buckets[int(i)] += int(per_bucket[i])
 
     @property
     def mean(self) -> float:
@@ -205,6 +235,23 @@ class MetricsRegistry:
         if now_ns is not None:
             self.last_update_ns[key] = now_ns
 
+    def observe_batch(
+        self,
+        node: int,
+        subsystem: str,
+        name: str,
+        values,
+        now_ns: Optional[float] = None,
+    ) -> None:
+        """Vectorized :meth:`observe` over a whole batch of values."""
+        key = (node, subsystem, name)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe_batch(values)
+        if now_ns is not None:
+            self.last_update_ns[key] = now_ns
+
     def clear(self) -> None:
         self.counters.clear()
         self.gauges.clear()
@@ -224,6 +271,17 @@ class MetricsRegistry:
 
     def histogram(self, node: int, subsystem: str, name: str) -> Optional[Histogram]:
         return self.histograms.get((node, subsystem, name))
+
+    def tenants(self, prefix: str = "traffic/") -> List[str]:
+        """Tenant names seen under the per-tenant subsystem convention.
+
+        Tenant-scoped metrics live in subsystems named
+        ``"<prefix><tenant>"`` (the traffic engine's convention), so the
+        tenant set is derivable from the key space with no side table.
+        """
+        return sorted(
+            {s[len(prefix):] for s in self.subsystems() if s.startswith(prefix)}
+        )
 
     def subsystems(self) -> List[str]:
         seen = {k[1] for k in self.counters}

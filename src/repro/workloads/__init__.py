@@ -1,6 +1,8 @@
-"""Workload generators (keys, values, request mixes) for the benchmarks."""
+"""Workload generators (keys, values, request mixes) and the open-loop
+traffic engine for the benchmarks."""
 
 from .ycsb import WORKLOADS, YcsbConfig, YcsbWorkload, op_mix
+from .arrivals import ArrivalProcess, DiurnalProcess, PoissonProcess, make_process
 from .generators import (
     KeyGenerator,
     Request,
@@ -8,12 +10,34 @@ from .generators import (
     ValueGenerator,
     popularity_histogram,
 )
+from .traffic import (
+    AdmissionError,
+    DataPlaneBackend,
+    NaivePollingDriver,
+    RedisBackend,
+    ServerlessBackend,
+    TenantSpec,
+    TrafficEngine,
+    TrafficReport,
+)
 
 __all__ = [
+    "AdmissionError",
+    "ArrivalProcess",
+    "DataPlaneBackend",
+    "DiurnalProcess",
     "KeyGenerator",
+    "NaivePollingDriver",
+    "PoissonProcess",
+    "RedisBackend",
     "Request",
     "RequestStream",
+    "ServerlessBackend",
+    "TenantSpec",
+    "TrafficEngine",
+    "TrafficReport",
     "ValueGenerator",
+    "make_process",
     "popularity_histogram",
     "WORKLOADS",
     "YcsbConfig",

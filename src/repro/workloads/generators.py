@@ -9,6 +9,8 @@ logical request always carries the same bytes.
 from __future__ import annotations
 
 import hashlib
+import math
+import statistics
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
@@ -50,31 +52,46 @@ class KeyGenerator:
     def key(self, index: int) -> bytes:
         return self.key_prefix + b"%012d" % (index % self.n_keys)
 
-    def draw(self, count: int) -> List[bytes]:
+    def draw_indices(self, count: int) -> np.ndarray:
+        """The next ``count`` key *indices* (the vectorized form the
+        traffic engine consumes; :meth:`draw` renders them to bytes)."""
         if self.distribution == "uniform":
-            indices = self.rng.integers(0, self.n_keys, size=count)
-        else:
-            indices = (self.rng.zipf(self.zipf_s, size=count) - 1) % self.n_keys
-        return [self.key(int(i)) for i in indices]
+            return self.rng.integers(0, self.n_keys, size=count)
+        return (self.rng.zipf(self.zipf_s, size=count) - 1) % self.n_keys
+
+    def draw(self, count: int) -> List[bytes]:
+        return [self.key(int(i)) for i in self.draw_indices(count)]
 
 
 class ValueGenerator:
-    """Synthesises values of configurable size."""
+    """Synthesises values of configurable size.
+
+    ``value_for`` is a *pure function of the key*: lognormal sizes are
+    derived from the key's hash (hash -> uniform -> inverse normal CDF),
+    not from a sequential RNG.  That makes the same logical request
+    carry the same bytes no matter how many values were generated
+    before it — in particular, ``RequestStream.preload()`` writes
+    exactly what a later ``generate()`` SET would.
+    """
 
     def __init__(self, size: int = 64, sigma: float = 0.0, seed: int = 0) -> None:
         if size < 1:
             raise ValueError("value size must be >= 1")
         self.size = size
         self.sigma = sigma
-        self.rng = np.random.default_rng(seed)
+        self.rng = np.random.default_rng(seed)  # kept for API compatibility
 
     def value_for(self, key: bytes) -> bytes:
         """Deterministic content for a key, at the configured size."""
+        seed = hashlib.blake2b(key, digest_size=32).digest()
         if self.sigma > 0:
-            size = max(1, int(self.rng.lognormal(np.log(self.size), self.sigma)))
+            # key-hash-derived lognormal: uniform from the first 8 hash
+            # bytes (offset half a ulp so u is strictly inside (0, 1))
+            u = (int.from_bytes(seed[:8], "little") + 0.5) / 2.0**64
+            z = statistics.NormalDist().inv_cdf(u)
+            size = max(1, int(math.exp(math.log(self.size) + self.sigma * z)))
         else:
             size = self.size
-        seed = hashlib.blake2b(key, digest_size=32).digest()
         reps = (size + len(seed) - 1) // len(seed)
         return (seed * reps)[:size]
 

@@ -1,0 +1,612 @@
+"""Open-loop, multi-tenant traffic engine over the rack substrate.
+
+The paper's evaluation drives the rack with a handful of cooperative
+clients; real racks serve *fleets* — hundreds of thousands of logical
+clients whose requests arrive whether or not the system keeps up.  This
+module is that load: tenants declare an offered rate and a client
+population (:class:`TenantSpec`), arrivals are pre-sampled in bulk
+(:mod:`repro.workloads.arrivals`), and a discrete-event core
+(:mod:`repro.core.events`) wakes each tenant only when arrivals are due
+— so a million simulated requests cost O(batches) Python, not
+O(clients x ticks).
+
+Per tenant, every batch flows through:
+
+1. **VNI accounting** — the tenant's traffic is tagged with its
+   Slingshot-style VNI on the fabric
+   (:class:`~repro.rack.interconnect.VniTable`) so the rack knows which
+   tenant is driving each byte;
+2. **admission control** — a batch is refused admission when the fabric
+   is saturated *and* this tenant runs past its weighted fair share
+   (link guard), and individual requests are shed when their queueing
+   delay behind the tenant's server would exceed ``max_backlog_ns``
+   (backlog bound).  Drops are counted per tenant, never silently;
+3. **bulk execution** — admitted requests run as *one* batch through the
+   bulk data plane (``load_many`` / ``store_many``), a coalesced
+   MiniRedis ``MGET``/``MSET``, or one serverless invocation — the PR-6
+   batch APIs are what make a wake O(1) substrate calls.
+
+Queueing is an explicit single-server model per tenant: request ``i``
+starts at ``max(arrival_i, completion_{i-1})`` and completes one
+service time later.  The recurrence is computed vectorized (a running
+max over ``arrival_i - svc*i``), with the drop pass applied against the
+undropped queue (pessimistic admission) and latencies recomputed over
+the survivors — two numpy passes, no per-request Python, and survivor
+waits are bounded by construction.
+
+Determinism: arrivals, key draws and op mixes are seeded per tenant;
+the event heap breaks ties by insertion order; service costs come from
+the machine's charged nanoseconds.  Same seed, same report —
+:meth:`TrafficReport.digest` is the bit the tests pin.
+
+The :class:`NaivePollingDriver` preserves the architecture this engine
+replaces (every client polled every tick) as the benchmark baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.events import EventCore
+from ..flacdk.arena import ArenaExhausted
+from ..rack.machine import NodeContext
+from ..telemetry import TELEMETRY as _TEL
+from .arrivals import ArrivalProcess, make_process
+
+
+class AdmissionError(Exception):
+    """A tenant could not be admitted (memory or policy)."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered load and placement.
+
+    ``rate_rps`` is the *aggregate* offered rate over the tenant's
+    ``n_clients`` logical clients (open-loop: arrivals do not wait for
+    completions).  ``weight`` is the tenant's VNI fair-share weight on
+    the fabric; ``max_backlog_ns`` bounds how long a request may queue
+    behind the tenant's server before admission control sheds it.
+    """
+
+    name: str
+    rate_rps: float
+    n_clients: int = 1_000
+    node: int = 0
+    arrival: str = "poisson"  # "poisson" | "diurnal"
+    amplitude: float = 0.5
+    period_s: float = 60.0
+    phase: float = 0.0
+    get_ratio: float = 0.9
+    n_keys: int = 1_024
+    value_size: int = 64
+    weight: float = 1.0
+    max_backlog_ns: float = 2e6
+
+
+@dataclass
+class _TenantState:
+    """Everything the engine tracks per tenant between wakes."""
+
+    spec: TenantSpec
+    vni: int
+    arrivals: ArrivalProcess
+    rng: np.random.Generator
+    #: pre-sampled arrival timestamps not yet consumed
+    queue: np.ndarray
+    pos: int = 0
+    #: single-server model: when the tenant's server frees up
+    busy_until_ns: float = 0.0
+    #: per-request service estimate used for the *next* batch's queue math
+    svc_est_ns: float = 1_000.0
+    next_client: int = 0
+    offered: int = 0
+    admitted: int = 0
+    dropped_backlog: int = 0
+    dropped_link: int = 0
+    latency_sum_ns: float = 0.0
+    latencies: List[np.ndarray] = field(default_factory=list)
+    wake: Optional[object] = None
+    backend_state: object = None
+
+
+@dataclass
+class TrafficReport:
+    """What one :meth:`TrafficEngine.run` produced."""
+
+    duration_ns: float
+    events_dispatched: int
+    tenants: Dict[str, dict]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(t["offered"] for t in self.tenants.values())
+
+    @property
+    def total_admitted(self) -> int:
+        return sum(t["admitted"] for t in self.tenants.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(t["dropped"] for t in self.tenants.values())
+
+    def digest(self) -> str:
+        """SHA-256 over every deterministic per-tenant outcome."""
+        lines = []
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            lines.append(
+                f"{name} {t['offered']} {t['admitted']} {t['dropped']} "
+                f"{t['latency_sum_ns']:.3f} {t['busy_until_ns']:.3f}"
+            )
+        lines.append(f"duration {self.duration_ns:.3f}")
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class DataPlaneBackend:
+    """Requests are bulk loads/stores against a per-tenant memory slab.
+
+    Each tenant gets ``n_keys * value_size`` bytes of global memory
+    (its namespace); key ``k`` lives at ``slab + k*value_size``.  A
+    batch becomes one ``load_many`` for the GETs and one packed
+    ``store_many`` for the SETs — the PR-6 vectorized paths.
+    """
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+
+    def prepare(self, st: _TenantState) -> None:
+        spec = st.spec
+        try:
+            slab = self.kernel.arena.take(spec.n_keys * spec.value_size, align=64)
+        except ArenaExhausted as exc:
+            raise AdmissionError(
+                f"tenant {spec.name!r}: no global memory for its namespace "
+                f"({spec.n_keys}x{spec.value_size}B)"
+            ) from exc
+        # deterministic per-key content, preloaded so GETs always hit data
+        blocks = [
+            hashlib.blake2b(b"%s:%d" % (spec.name.encode(), k), digest_size=8).digest()
+            for k in range(spec.n_keys)
+        ]
+        reps = (spec.value_size + 7) // 8
+        values = np.frombuffer(
+            b"".join((blk * reps)[: spec.value_size] for blk in blocks), dtype=np.uint8
+        ).reshape(spec.n_keys, spec.value_size)
+        ctx = self.kernel.machine.context(spec.node)
+        ctx.store_many(
+            [slab + k * spec.value_size for k in range(spec.n_keys)],
+            values.tobytes(),
+            size=spec.value_size,
+            bypass_cache=True,
+        )
+        st.backend_state = (slab, values)
+
+    def run_batch(
+        self, ctx: NodeContext, st: _TenantState, key_idx: np.ndarray, is_get: np.ndarray
+    ) -> int:
+        slab, values = st.backend_state
+        size = st.spec.value_size
+        addrs = slab + key_idx.astype(np.int64) * size
+        gets = addrs[is_get]
+        sets = addrs[~is_get]
+        if len(gets):
+            ctx.load_many(gets.tolist(), size, bypass_cache=True, concat=True)
+        if len(sets):
+            payload = values[key_idx[~is_get]].tobytes()
+            ctx.store_many(sets.tolist(), payload, size=size, bypass_cache=True)
+        return len(key_idx) * size
+
+
+class RedisBackend:
+    """Requests hit a per-tenant MiniRedis server on the tenant's node.
+
+    A wake's GETs coalesce into one ``MGET`` and its SETs into one
+    ``MSET`` (one command dispatch each), executed through
+    ``MiniRedisServer.execute_batch`` — the Redis-protocol shape of the
+    same batching the data plane does with ``load_many``.
+    """
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+
+    def prepare(self, st: _TenantState) -> None:
+        from ..apps.redis import MiniRedisServer
+
+        spec = st.spec
+        server = MiniRedisServer(self.kernel.machine.context(spec.node))
+        keys = [b"%s:%012d" % (spec.name.encode(), k) for k in range(spec.n_keys)]
+        pad = spec.value_size
+        for k, key in enumerate(keys):
+            server._cmd_set(key, (key * ((pad // len(key)) + 1))[:pad])
+        st.backend_state = (server, keys)
+
+    def run_batch(
+        self, ctx: NodeContext, st: _TenantState, key_idx: np.ndarray, is_get: np.ndarray
+    ) -> int:
+        server, keys = st.backend_state
+        commands = []
+        get_keys = [keys[k] for k in key_idx[is_get]]
+        if get_keys:
+            commands.append([b"MGET", *get_keys])
+        set_keys = [keys[k] for k in key_idx[~is_get]]
+        if set_keys:
+            pairs = []
+            for key in set_keys:
+                pairs.append(key)
+                pairs.append((key * ((st.spec.value_size // len(key)) + 1))[: st.spec.value_size])
+            commands.append([b"MSET", *pairs])
+        if commands:
+            server.execute_batch(commands)
+        return len(key_idx) * st.spec.value_size
+
+
+class ServerlessBackend:
+    """Each wake's batch triggers one serverless invocation on the
+    tenant's node (a batch-triggered function), so the platform's
+    startup/exec model prices the batch."""
+
+    def __init__(
+        self, kernel, platform, image: str, exec_ns_per_req: float = 2_000.0
+    ) -> None:
+        self.kernel = kernel
+        self.platform = platform
+        self.image = image  # must exist in the platform's registry
+        self.exec_ns_per_req = exec_ns_per_req
+
+    def prepare(self, st: _TenantState) -> None:
+        from ..apps.serverless import FunctionSpec
+
+        fn_name = f"traffic-{st.spec.name}"
+        if fn_name not in self.platform.functions():
+            self.platform.deploy(
+                FunctionSpec(
+                    name=fn_name,
+                    image=self.image,
+                    handler=lambda ctx, payload: payload[:8],
+                    exec_ns=self.exec_ns_per_req,
+                )
+            )
+        st.backend_state = fn_name
+
+    def run_batch(
+        self, ctx: NodeContext, st: _TenantState, key_idx: np.ndarray, is_get: np.ndarray
+    ) -> int:
+        fn_name = st.backend_state
+        # one invocation per batch; its exec cost scales with batch size
+        payload = key_idx.astype(np.uint32).tobytes()
+        ctx.advance(self.exec_ns_per_req * max(0, len(key_idx) - 1))
+        self.platform.invoke(ctx, fn_name, payload)
+        return len(key_idx) * st.spec.value_size
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class TrafficEngine:
+    """Open-loop load over a booted :class:`~repro.core.kernel.FlacOS`.
+
+    ``batch_window_ns`` is the wake cadence: a tenant's wake at time
+    ``T`` serves every arrival with timestamp <= ``T``, so larger
+    windows trade per-request wake precision for bigger (cheaper)
+    batches.  Latency accounting always uses exact per-request arrival
+    times, so the window changes *host* cost, not simulated truth.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        tenants: List[TenantSpec],
+        seed: int = 0,
+        batch_window_ns: float = 200_000.0,
+        chunk: int = 4_096,
+        link_capacity_bytes_per_s: Optional[float] = None,
+        backend=None,
+        events: Optional[EventCore] = None,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.events = events if events is not None else kernel.events
+        self.batch_window_ns = float(batch_window_ns)
+        self.chunk = int(chunk)
+        self.backend = backend if backend is not None else DataPlaneBackend(kernel)
+        self.vnis = self.machine.fabric.vnis
+        if link_capacity_bytes_per_s is not None:
+            self.vnis.capacity_bytes_per_s = float(link_capacity_bytes_per_s)
+        self.tenants: Dict[str, _TenantState] = {}
+        self._stop_at_requests: Optional[int] = None
+        start_ns = self.events.now_ns
+        for idx, spec in enumerate(tenants):
+            if spec.node not in self.machine.nodes:
+                raise AdmissionError(f"tenant {spec.name!r}: no node {spec.node}")
+            vni = self.vnis.register(spec.name, weight=spec.weight)
+            arrivals = make_process(
+                spec.arrival,
+                spec.rate_rps,
+                seed=seed * 65_537 + idx,
+                start_ns=start_ns,
+                amplitude=spec.amplitude,
+                period_s=spec.period_s,
+                phase=spec.phase,
+            )
+            st = _TenantState(
+                spec=spec,
+                vni=vni,
+                arrivals=arrivals,
+                rng=np.random.default_rng(seed * 92_821 + idx),
+                queue=np.empty(0, dtype=np.float64),
+            )
+            self.backend.prepare(st)
+            self.tenants[spec.name] = st
+            self._arm(st)
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _refill(self, st: _TenantState) -> None:
+        """Top up the tenant's pre-sampled arrival buffer."""
+        fresh = st.arrivals.next_chunk(self.chunk)
+        while len(fresh) == 0:  # thinning may reject a whole chunk
+            fresh = st.arrivals.next_chunk(self.chunk)
+        left = st.queue[st.pos:]
+        st.queue = np.concatenate((left, fresh)) if len(left) else fresh
+        st.pos = 0
+
+    def _next_arrival(self, st: _TenantState) -> float:
+        if st.pos >= len(st.queue):
+            self._refill(st)
+        return float(st.queue[st.pos])
+
+    def _arm(self, st: _TenantState) -> None:
+        """Schedule the tenant's next wake: first pending arrival plus
+        one batch window (so the wake serves a whole window's worth)."""
+        when = self._next_arrival(st) + self.batch_window_ns
+        st.wake = self.events.at(when, lambda s=st: self._wake(s), node=st.spec.node)
+
+    def _wake(self, st: _TenantState) -> None:
+        now = self.events.now_ns
+        # take every pre-sampled arrival due by now (extending the
+        # buffer until it provably covers the window)
+        while st.queue[len(st.queue) - 1] <= now:
+            self._refill(st)
+            st.queue = st.queue[st.pos:]
+            st.pos = 0
+        end = int(np.searchsorted(st.queue, now, side="right"))
+        batch = st.queue[st.pos:end]
+        st.pos = end
+        if len(batch):
+            self._serve(st, batch)
+        self._arm(st)
+
+    # -- the per-batch pipeline ------------------------------------------------
+
+    def _serve(self, st: _TenantState, arrivals: np.ndarray) -> None:
+        spec = st.spec
+        n = len(arrivals)
+        st.offered += n
+        st.next_client = (st.next_client + n) % max(1, spec.n_clients)
+        now = self.events.now_ns
+        tel = _TEL.enabled
+        if tel:
+            _TEL.tenant_add(spec.node, spec.name, "requests", n)
+
+        # link guard: fabric saturated AND this tenant past its fair
+        # share -> shed the whole batch before it touches the substrate
+        if self.vnis.saturated() and self.vnis.over_share(st.vni):
+            st.dropped_link += n
+            self.vnis.drop(st.vni, n)
+            if tel:
+                _TEL.tenant_add(spec.node, spec.name, "dropped.link", n)
+            return
+
+        # backlog bound (pessimistic admission): waits computed against
+        # the undropped queue; anything over the bound is shed
+        svc = max(1.0, st.svc_est_ns)
+        k = np.arange(n, dtype=np.float64)
+        adj = arrivals - svc * k
+        adj[0] = max(adj[0], st.busy_until_ns)
+        completion = np.maximum.accumulate(adj) + svc * (k + 1.0)
+        wait = completion - svc - arrivals
+        keep = wait <= spec.max_backlog_ns
+        n_drop = int(n - keep.sum())
+        if n_drop:
+            st.dropped_backlog += n_drop
+            self.vnis.drop(st.vni, n_drop)
+            if tel:
+                _TEL.tenant_add(spec.node, spec.name, "dropped.backlog", n_drop)
+            arrivals = arrivals[keep]
+            n = len(arrivals)
+            if n == 0:
+                return
+
+        # bulk execution: one substrate batch for the whole admission
+        key_idx = st.rng.integers(0, spec.n_keys, size=n)
+        is_get = st.rng.random(n) < spec.get_ratio
+        ctx = self.machine.context(spec.node)
+        before = ctx.now()
+        n_bytes = self.backend.run_batch(ctx, st, key_idx, is_get)
+        charged = ctx.now() - before
+        svc_actual = max(1.0, charged / n)
+        st.svc_est_ns = svc_actual
+
+        # single-server completion over the admitted batch with the
+        # *measured* per-request cost
+        k = np.arange(n, dtype=np.float64)
+        adj = arrivals - svc_actual * k
+        adj[0] = max(adj[0], st.busy_until_ns)
+        completion = np.maximum.accumulate(adj) + svc_actual * (k + 1.0)
+        st.busy_until_ns = float(completion[-1])
+        latency = completion - arrivals
+        st.admitted += n
+        st.latency_sum_ns += float(np.add.accumulate(latency)[-1])
+        st.latencies.append(latency)
+        self.vnis.charge(st.vni, n_bytes, n, now)
+        if tel:
+            _TEL.tenant_add(spec.node, spec.name, "admitted", n)
+            _TEL.tenant_add(spec.node, spec.name, "bytes", n_bytes)
+            _TEL.tenant_observe_batch(spec.node, spec.name, "latency_ns", latency)
+        if self._stop_at_requests is not None and self._total_offered() >= self._stop_at_requests:
+            self._halt()
+
+    def _total_offered(self) -> int:
+        return sum(st.offered for st in self.tenants.values())
+
+    def _halt(self) -> None:
+        for st in self.tenants.values():
+            if st.wake is not None:
+                EventCore.cancel(st.wake)
+                st.wake = None
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(
+        self,
+        duration_ns: Optional[float] = None,
+        max_requests: Optional[int] = None,
+    ) -> TrafficReport:
+        """Pump the event core until a bound is hit; returns the report.
+
+        ``duration_ns`` bounds simulated time (from the core's current
+        position); ``max_requests`` bounds total *offered* requests
+        across tenants.  At least one bound is required (an open loop
+        never drains on its own).
+        """
+        if duration_ns is None and max_requests is None:
+            raise ValueError("open-loop run needs duration_ns and/or max_requests")
+        start = self.events.now_ns
+        started = self.events.dispatched
+        deadline = start + duration_ns if duration_ns is not None else None
+        self._stop_at_requests = (
+            self._total_offered() + max_requests if max_requests is not None else None
+        )
+        try:
+            while True:
+                if deadline is not None and (
+                    self.events.peek_ns() is None or self.events.peek_ns() > deadline
+                ):
+                    break
+                if (
+                    self._stop_at_requests is not None
+                    and self._total_offered() >= self._stop_at_requests
+                ):
+                    break
+                if not self.events.step():
+                    break
+        finally:
+            self._stop_at_requests = None
+            # keep the loop armed for a subsequent run() call
+            for st in self.tenants.values():
+                if st.wake is None:
+                    self._arm(st)
+        if deadline is not None and deadline > self.events.now_ns:
+            self.events.now_ns = deadline
+        return self.report(duration_ns=self.events.now_ns - start,
+                           events=self.events.dispatched - started)
+
+    def report(self, duration_ns: float = 0.0, events: int = 0) -> TrafficReport:
+        tenants = {}
+        for name, st in self.tenants.items():
+            lat = (
+                np.concatenate(st.latencies)
+                if st.latencies
+                else np.empty(0, dtype=np.float64)
+            )
+            tenants[name] = {
+                "offered": st.offered,
+                "admitted": st.admitted,
+                "dropped": st.dropped_backlog + st.dropped_link,
+                "dropped_backlog": st.dropped_backlog,
+                "dropped_link": st.dropped_link,
+                "latency_sum_ns": st.latency_sum_ns,
+                "busy_until_ns": st.busy_until_ns,
+                "p50_ns": float(np.percentile(lat, 50)) if len(lat) else 0.0,
+                "p99_ns": float(np.percentile(lat, 99)) if len(lat) else 0.0,
+                "vni": st.vni,
+            }
+        return TrafficReport(
+            duration_ns=duration_ns, events_dispatched=events, tenants=tenants
+        )
+
+
+# -- the baseline this engine replaces -----------------------------------------
+
+
+class NaivePollingDriver:
+    """Closed polling loop: every client visited every tick.
+
+    This is the architecture the event core retires, kept as the
+    benchmark baseline: per tick, Python iterates *all* logical clients
+    of *all* tenants asking "is your next arrival due?", and due
+    requests run one substrate op each (no batching).  Cost is
+    O(clients x ticks) regardless of load — with 100k clients the
+    interpreter burns almost all of its time asking idle clients
+    nothing.
+    """
+
+    def __init__(self, kernel, tenants: List[TenantSpec], seed: int = 0,
+                 tick_ns: float = 200_000.0) -> None:
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.tick_ns = float(tick_ns)
+        self.clients: List[dict] = []
+        self.served = 0
+        backend = DataPlaneBackend(kernel)
+        for idx, spec in enumerate(tenants):
+            st = _TenantState(
+                spec=spec,
+                vni=-1,
+                arrivals=make_process(
+                    spec.arrival, spec.rate_rps, seed=seed * 65_537 + idx,
+                    amplitude=spec.amplitude, period_s=spec.period_s, phase=spec.phase,
+                ),
+                rng=np.random.default_rng(seed * 92_821 + idx),
+                queue=np.empty(0, dtype=np.float64),
+            )
+            backend.prepare(st)
+            slab, _ = st.backend_state
+            # deal the tenant's aggregate arrival stream round-robin
+            # onto its clients, each of which polls for its own next time
+            times = st.arrivals.next_chunk(max(4 * spec.n_clients, 4_096))
+            for c in range(spec.n_clients):
+                mine = times[c::spec.n_clients]
+                self.clients.append(
+                    {
+                        "spec": spec,
+                        "slab": slab,
+                        "times": mine,
+                        "i": 0,
+                        "rng": np.random.default_rng((seed, idx, c)),
+                    }
+                )
+
+    def run_ticks(self, n_ticks: int) -> int:
+        """Poll every client for ``n_ticks``; returns requests served."""
+        served = 0
+        now = 0.0
+        for _ in range(n_ticks):
+            now += self.tick_ns
+            for client in self.clients:
+                times = client["times"]
+                i = client["i"]
+                while i < len(times) and times[i] <= now:
+                    spec = client["spec"]
+                    key = int(client["rng"].integers(0, spec.n_keys))
+                    ctx = self.machine.context(spec.node)
+                    addr = client["slab"] + key * spec.value_size
+                    if client["rng"].random() < spec.get_ratio:
+                        ctx.load(addr, spec.value_size, bypass_cache=True)
+                    else:
+                        ctx.store(addr, b"\x5a" * spec.value_size, bypass_cache=True)
+                    i += 1
+                    served += 1
+                client["i"] = i
+        self.served += served
+        return served
