@@ -60,6 +60,38 @@ class Event:
         return f"Event(@{self.when_ns:.0f}ns #{self.seq}{state})"
 
 
+class RecurringEvent:
+    """A self-rescheduling event; returned by :meth:`EventCore.every`."""
+
+    __slots__ = ("core", "period_ns", "fn", "node", "_ev", "cancelled", "fired")
+
+    def __init__(self, core: "EventCore", period_ns: float,
+                 fn: Callable[[], None], node: Optional[int]) -> None:
+        self.core = core
+        self.period_ns = period_ns
+        self.fn = fn
+        self.node = node
+        self._ev: Optional[Event] = None
+        self.cancelled = False
+        #: dispatch count (tests/telemetry)
+        self.fired = 0
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.fn()
+        if not self.cancelled:  # fn may cancel its own recurrence
+            self._ev = self.core.at(
+                self.core.now_ns + self.period_ns, self._fire, node=self.node
+            )
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._ev is not None:
+            EventCore.cancel(self._ev)
+
+
 class EventCore:
     """A deterministic event heap over simulated nanoseconds.
 
@@ -104,6 +136,28 @@ class EventCore:
     def cancel(ev: Event) -> None:
         """Mark an event dead; it is skipped (and freed) when it surfaces."""
         ev.cancelled = True
+
+    def every(
+        self,
+        period_ns: float,
+        fn: Callable[[], None],
+        node: Optional[int] = None,
+        first_ns: Optional[float] = None,
+    ) -> "RecurringEvent":
+        """Schedule ``fn`` every ``period_ns``, starting at ``first_ns``
+        (default: one period from now).
+
+        This is how polled daemon loops (scrubber patrol, health ticks)
+        move onto the heap: instead of every tick asking "is it time
+        yet?", the daemon is woken exactly when it is.  The handle's
+        :meth:`RecurringEvent.cancel` stops the recurrence.
+        """
+        if period_ns <= 0:
+            raise EventCoreError(f"recurring period must be positive, got {period_ns}")
+        rec = RecurringEvent(self, float(period_ns), fn, node)
+        start = first_ns if first_ns is not None else self.now_ns + period_ns
+        rec._ev = self.at(start, rec._fire, node=node)
+        return rec
 
     # -- introspection ---------------------------------------------------------
 

@@ -7,7 +7,7 @@ process migration over shared state.
 
 from .migration import MigrationReport, ProcessMigrator
 from .registry import Endpoint, NameInUse, NameRegistry, RegistryError, UnknownName
-from .rpc import RpcError, RpcStats, RpcSystem
+from .rpc import RpcDeadlineExceeded, RpcError, RpcStats, RpcSystem, RpcTimeout
 from .shared_buffer import PACKED_SIZE, BufferPool, BufferRef
 from .socket import (
     Connection,
@@ -36,8 +36,10 @@ __all__ = [
     "PACKED_SIZE",
     "ProcessMigrator",
     "RegistryError",
+    "RpcDeadlineExceeded",
     "RpcError",
     "RpcStats",
     "RpcSystem",
+    "RpcTimeout",
     "UnknownName",
 ]

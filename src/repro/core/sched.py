@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Set
 from ..flacdk.structures import SpscRing
 from ..rack.machine import NodeContext, RackMachine
 from ..telemetry import TELEMETRY as _TEL
+from .backoff import BackoffPolicy
 from .params import OsCosts
 
 _RING_SLOTS = 32
@@ -96,6 +97,15 @@ class RackScheduler:
     ) -> None:
         self.machine = machine
         self.costs = costs or OsCosts()
+        #: shared retry shape (repro.core.backoff): exact exponential,
+        #: no jitter — the historical submit behaviour, now one policy
+        #: object instead of constants duplicated across retry loops
+        self.backoff = BackoffPolicy(
+            base_ns=self.costs.submit_backoff_ns,
+            multiplier=2.0,
+            max_attempts=self.max_submit_retries,
+            jitter=0.0,
+        )
         self.n_nodes = len(machine.nodes)
         #: per-node load cells: ctrl_base + node*8
         self.ctrl_base = ctrl_base
@@ -215,14 +225,14 @@ class RackScheduler:
         waited_ns = 0.0
         attempts = 0
         while not ring.try_push(ctx, slot):
-            if attempts >= self.max_submit_retries:
+            if attempts >= self.backoff.max_attempts:
                 self._next_task -= 1  # single-threaded sim: id is unused
                 if _TEL.enabled:
                     _TEL.count(ctx.node_id, _SUB, "submit.backpressure")
                 raise SchedulerBackpressure(target, ctx.node_id, attempts, waited_ns)
-            backoff = self.costs.submit_backoff_ns * (1 << attempts)
-            ctx.advance(backoff)
-            waited_ns += backoff
+            delay = self.backoff.delay_ns(attempts)
+            ctx.advance(delay)
+            waited_ns += delay
             attempts += 1
             if _TEL.enabled:
                 _TEL.count(ctx.node_id, _SUB, "submit.retry")

@@ -178,6 +178,44 @@ def render_tenants(reg: MetricsRegistry) -> str:
     return grid.render()
 
 
+def render_resilience(reg: MetricsRegistry) -> str:
+    """Per-tenant fault-tolerance breakout: retries, hedges, breaker
+    trips and lost requests from the ``traffic/<name>`` subsystems.
+    Empty when no tenant recorded any resilience activity."""
+    tenants = reg.tenants(TENANT_PREFIX)
+    if not tenants:
+        return ""
+    rows = []
+    for tenant in tenants:
+        sub = TENANT_PREFIX + tenant
+        cells = {
+            name: reg.counter_total(sub, "resilience." + name)
+            for name in ("retries", "hedges", "hedge_wins", "failovers",
+                         "timed_out", "failed", "shed", "breaker_opens")
+        }
+        if any(cells.values()):
+            rows.append((tenant, cells))
+    if not rows:
+        return ""
+    grid = _Grid(
+        "per-tenant resilience",
+        ["tenant", "retries", "hedges (wins)", "failovers",
+         "timed out", "failed", "shed", "breaker opens"],
+    )
+    for tenant, c in rows:
+        grid.add(
+            tenant,
+            _fmt(c["retries"]),
+            f"{_fmt(c['hedges'])} ({_fmt(c['hedge_wins'])})",
+            _fmt(c["failovers"]),
+            _fmt(c["timed_out"]),
+            _fmt(c["failed"]),
+            _fmt(c["shed"]),
+            _fmt(c["breaker_opens"]),
+        )
+    return grid.render()
+
+
 def render_subsystems(reg: MetricsRegistry) -> str:
     """Every metric, grouped by subsystem, nodes as columns."""
     sections = []
@@ -218,6 +256,9 @@ def render_dashboard(run: dict, flame: bool = True) -> str:
     tenants = render_tenants(reg)
     if tenants:
         parts.append(tenants)
+    resilience = render_resilience(reg)
+    if resilience:
+        parts.append(resilience)
     parts.append(render_subsystems(reg))
     if flame and run.get("trace"):
         from .spans import TraceBuffer, Span

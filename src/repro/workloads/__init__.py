@@ -20,9 +20,31 @@ from .traffic import (
     TrafficEngine,
     TrafficReport,
 )
+from .resilience import (
+    DISABLED,
+    BreakerPolicy,
+    ChaosLoadReport,
+    ChaosUnderLoad,
+    CircuitBreaker,
+    HedgePolicy,
+    ResilienceSpec,
+    ResilientTrafficEngine,
+    RetryPolicy,
+    default_spec,
+)
 
 __all__ = [
     "AdmissionError",
+    "BreakerPolicy",
+    "ChaosLoadReport",
+    "ChaosUnderLoad",
+    "CircuitBreaker",
+    "DISABLED",
+    "HedgePolicy",
+    "ResilienceSpec",
+    "ResilientTrafficEngine",
+    "RetryPolicy",
+    "default_spec",
     "ArrivalProcess",
     "DataPlaneBackend",
     "DiurnalProcess",

@@ -108,6 +108,15 @@ class _TenantState:
     admitted: int = 0
     dropped_backlog: int = 0
     dropped_link: int = 0
+    #: resilience outcomes — stay zero under the base engine; the
+    #: resilient engine (:mod:`repro.workloads.resilience`) fills them
+    failed: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    failovers: int = 0
+    dropped_shed: int = 0
     latency_sum_ns: float = 0.0
     latencies: List[np.ndarray] = field(default_factory=list)
     wake: Optional[object] = None
@@ -134,6 +143,23 @@ class TrafficReport:
     def total_dropped(self) -> int:
         return sum(t["dropped"] for t in self.tenants.values())
 
+    @property
+    def total_failed(self) -> int:
+        return sum(t["failed"] + t["dropped_shed"] for t in self.tenants.values())
+
+    @property
+    def availability(self) -> float:
+        """Fraction of executed-or-shed requests that got an answer.
+
+        Admission drops (backlog/link) are policy, not failures; a
+        request counts against availability only when it entered the
+        request path and came back empty — terminal execution failure,
+        deadline exhaustion, or breaker-degraded shedding.
+        """
+        served = self.total_admitted
+        lost = self.total_failed
+        return served / max(1, served + lost)
+
     def digest(self) -> str:
         """SHA-256 over every deterministic per-tenant outcome."""
         lines = []
@@ -141,7 +167,9 @@ class TrafficReport:
             t = self.tenants[name]
             lines.append(
                 f"{name} {t['offered']} {t['admitted']} {t['dropped']} "
-                f"{t['latency_sum_ns']:.3f} {t['busy_until_ns']:.3f}"
+                f"{t['latency_sum_ns']:.3f} {t['busy_until_ns']:.3f} "
+                f"{t['failed']} {t['timed_out']} {t['retries']} {t['hedges']} "
+                f"{t['hedge_wins']} {t['failovers']} {t['dropped_shed']}"
             )
         lines.append(f"duration {self.duration_ns:.3f}")
         return hashlib.sha256("\n".join(lines).encode()).hexdigest()
@@ -158,6 +186,10 @@ class DataPlaneBackend:
     batch becomes one ``load_many`` for the GETs and one packed
     ``store_many`` for the SETs — the PR-6 vectorized paths.
     """
+
+    #: the slab lives in *global* memory, so any live node can serve the
+    #: tenant's keys — a breaker can route batches to a replica node
+    supports_failover = True
 
     def __init__(self, kernel) -> None:
         self.kernel = kernel
@@ -214,6 +246,10 @@ class RedisBackend:
     same batching the data plane does with ``load_many``.
     """
 
+    #: the MiniRedis server object is bound to the tenant node's context
+    #: at prepare time — state dies with the node, so no failover
+    supports_failover = False
+
     def __init__(self, kernel) -> None:
         self.kernel = kernel
 
@@ -252,6 +288,10 @@ class ServerlessBackend:
     """Each wake's batch triggers one serverless invocation on the
     tenant's node (a batch-triggered function), so the platform's
     startup/exec model prices the batch."""
+
+    #: function code contexts live in the platform registry, not on the
+    #: tenant's node — a replica node can invoke the same function
+    supports_failover = True
 
     def __init__(
         self, kernel, platform, image: str, exec_ns_per_req: float = 2_000.0
@@ -393,7 +433,6 @@ class TrafficEngine:
         n = len(arrivals)
         st.offered += n
         st.next_client = (st.next_client + n) % max(1, spec.n_clients)
-        now = self.events.now_ns
         tel = _TEL.enabled
         if tel:
             _TEL.tenant_add(spec.node, spec.name, "requests", n)
@@ -410,10 +449,7 @@ class TrafficEngine:
         # backlog bound (pessimistic admission): waits computed against
         # the undropped queue; anything over the bound is shed
         svc = max(1.0, st.svc_est_ns)
-        k = np.arange(n, dtype=np.float64)
-        adj = arrivals - svc * k
-        adj[0] = max(adj[0], st.busy_until_ns)
-        completion = np.maximum.accumulate(adj) + svc * (k + 1.0)
+        completion = self._completions(arrivals, svc, st.busy_until_ns)
         wait = completion - svc - arrivals
         keep = wait <= spec.max_backlog_ns
         n_drop = int(n - keep.sum())
@@ -427,34 +463,69 @@ class TrafficEngine:
             if n == 0:
                 return
 
-        # bulk execution: one substrate batch for the whole admission
+        # the admitted batch's key/op draws happen exactly once, here,
+        # so resilient and base engines replay the same RNG stream
         key_idx = st.rng.integers(0, spec.n_keys, size=n)
         is_get = st.rng.random(n) < spec.get_ratio
-        ctx = self.machine.context(spec.node)
+        self._run_admitted(st, arrivals, key_idx, is_get)
+        if self._stop_at_requests is not None and self._total_offered() >= self._stop_at_requests:
+            self._halt()
+
+    @staticmethod
+    def _completions(
+        arrivals: np.ndarray, svc: float, busy_until_ns: float
+    ) -> np.ndarray:
+        """Single-server completion times: request ``i`` starts at
+        ``max(arrival_i, completion_{i-1})``, runs ``svc`` ns."""
+        k = np.arange(len(arrivals), dtype=np.float64)
+        adj = arrivals - svc * k
+        adj[0] = max(adj[0], busy_until_ns)
+        return np.maximum.accumulate(adj) + svc * (k + 1.0)
+
+    def _run_admitted(
+        self,
+        st: _TenantState,
+        arrivals: np.ndarray,
+        key_idx: np.ndarray,
+        is_get: np.ndarray,
+    ) -> None:
+        """Execute one admitted batch and record its outcomes.
+
+        The fault-tolerant engine overrides this seam — everything
+        upstream (arrival bookkeeping, link guard, backlog bound, RNG
+        draws) is shared, so with resilience disabled the two engines
+        produce bit-identical reports.
+        """
+        n = len(arrivals)
+        ctx = self.machine.context(st.spec.node)
         before = ctx.now()
         n_bytes = self.backend.run_batch(ctx, st, key_idx, is_get)
         charged = ctx.now() - before
         svc_actual = max(1.0, charged / n)
         st.svc_est_ns = svc_actual
 
-        # single-server completion over the admitted batch with the
-        # *measured* per-request cost
-        k = np.arange(n, dtype=np.float64)
-        adj = arrivals - svc_actual * k
-        adj[0] = max(adj[0], st.busy_until_ns)
-        completion = np.maximum.accumulate(adj) + svc_actual * (k + 1.0)
+        # completion over the admitted batch with the *measured* cost
+        completion = self._completions(arrivals, svc_actual, st.busy_until_ns)
         st.busy_until_ns = float(completion[-1])
-        latency = completion - arrivals
+        self._record(st, arrivals, completion - arrivals, n_bytes)
+
+    def _record(
+        self,
+        st: _TenantState,
+        arrivals: np.ndarray,
+        latency: np.ndarray,
+        n_bytes: int,
+    ) -> None:
+        spec = st.spec
+        n = len(arrivals)
         st.admitted += n
         st.latency_sum_ns += float(np.add.accumulate(latency)[-1])
         st.latencies.append(latency)
-        self.vnis.charge(st.vni, n_bytes, n, now)
-        if tel:
+        self.vnis.charge(st.vni, n_bytes, n, self.events.now_ns)
+        if _TEL.enabled:
             _TEL.tenant_add(spec.node, spec.name, "admitted", n)
             _TEL.tenant_add(spec.node, spec.name, "bytes", n_bytes)
             _TEL.tenant_observe_batch(spec.node, spec.name, "latency_ns", latency)
-        if self._stop_at_requests is not None and self._total_offered() >= self._stop_at_requests:
-            self._halt()
 
     def _total_offered(self) -> int:
         return sum(st.offered for st in self.tenants.values())
@@ -525,6 +596,13 @@ class TrafficEngine:
                 "dropped": st.dropped_backlog + st.dropped_link,
                 "dropped_backlog": st.dropped_backlog,
                 "dropped_link": st.dropped_link,
+                "failed": st.failed,
+                "timed_out": st.timed_out,
+                "retries": st.retries,
+                "hedges": st.hedges,
+                "hedge_wins": st.hedge_wins,
+                "failovers": st.failovers,
+                "dropped_shed": st.dropped_shed,
                 "latency_sum_ns": st.latency_sum_ns,
                 "busy_until_ns": st.busy_until_ns,
                 "p50_ns": float(np.percentile(lat, 50)) if len(lat) else 0.0,
