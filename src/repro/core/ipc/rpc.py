@@ -228,8 +228,32 @@ class RpcSystem:
         simulated clock (the spin a real retry loop pays) before the
         next try; the deadline, when given, bounds the *whole* budget —
         once it passes, the last error propagates.
+
+        With tracing on, the whole loop runs under one ``ipc.rpc.retry``
+        span so every attempt's ``ipc.rpc.call`` span chains to the same
+        parent — the retry sequence survives in the trace instead of
+        scattering as siblings of whatever else was open.
         """
         policy = backoff if backoff is not None else BackoffPolicy()
+        if not _TEL.tracing:
+            return self._retry_loop(
+                ctx, name, args, kwargs, policy, deadline_ns, retry_on
+            )
+        with _span("ipc.rpc.retry", ctx=ctx, service=name):
+            return self._retry_loop(
+                ctx, name, args, kwargs, policy, deadline_ns, retry_on
+            )
+
+    def _retry_loop(
+        self,
+        ctx: NodeContext,
+        name: str,
+        args: tuple,
+        kwargs: dict,
+        policy: BackoffPolicy,
+        deadline_ns: Optional[float],
+        retry_on: tuple,
+    ) -> Any:
         attempt = 0
         while True:
             try:

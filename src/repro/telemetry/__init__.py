@@ -46,7 +46,7 @@ from .registry import (
     bucket_index,
     rate,
 )
-from .spans import Span, TraceBuffer, validate_chrome_trace
+from .spans import STACK_PARENT, Span, TraceBuffer, validate_chrome_trace
 
 RUN_SCHEMA = "repro.telemetry.run/1"
 
@@ -229,14 +229,17 @@ def load_run(path: Union[str, pathlib.Path]) -> dict:
 
 
 @contextmanager
-def span(name: str, ctx=None, node: int = RACK_WIDE, **args):
+def span(name: str, ctx=None, node: int = RACK_WIDE, parent=STACK_PARENT, **args):
     """Trace one operation: ``with span("fs.read", ctx=ctx, file=fid): ...``
 
     ``ctx`` is a :class:`~repro.rack.machine.NodeContext`; its simulated
     clock stamps the span and its node becomes the span's node.  Without
     a context the span is rack-wide and timestamped with the parent's
-    clock position (or zero at top level) — still deterministic.  When
-    tracing is off this is a no-op that yields ``None``.
+    clock position (or zero at top level) — still deterministic.
+    ``parent`` overrides the stack-derived parent span id (pass a span
+    id, or ``None`` to force a root span) for operations whose causal
+    parent has already closed — retries, hedges, deferred event-heap
+    work.  When tracing is off this is a no-op that yields ``None``.
     """
     t = TELEMETRY
     if not t.tracing:
@@ -248,7 +251,7 @@ def span(name: str, ctx=None, node: int = RACK_WIDE, **args):
     else:
         current = t.trace.current()
         start = current.start_ns if current is not None else 0.0
-    s = t.trace.begin(name, node, start, **args)
+    s = t.trace.begin(name, node, start, parent_id=parent, **args)
     try:
         yield s
     finally:
@@ -267,6 +270,7 @@ __all__ = [
     "N_BUCKETS",
     "RACK_WIDE",
     "RUN_SCHEMA",
+    "STACK_PARENT",
     "Span",
     "TELEMETRY",
     "TENANT_PREFIX",

@@ -242,6 +242,62 @@ def render_subsystems(reg: MetricsRegistry) -> str:
     return "\n\n".join(sections) if sections else "(no metrics recorded)"
 
 
+def render_incident_timeline(dump: dict, score: Optional[dict] = None) -> str:
+    """Per-incident timeline panel over one flight-recorder dump.
+
+    One chronological table — injection marks, alert fire/resolve,
+    breaker transitions, predictor boosts — with the recovery point
+    (injection + MTTM) appended when a score card is supplied.  Pure
+    dict-walking, so it renders loaded dumps offline.
+    """
+    rows: List[Tuple[float, int, str, str]] = []
+    for node, tail in sorted(dump.get("fault_tail", {}).items()):
+        for ev in tail:
+            if ev["kind"] in ("ue", "ce", "link_down", "node_crash", "node_restart"):
+                where = "rack" if node == "-1" else f"node{node}"
+                rows.append(
+                    (ev["time_ns"], 0, f"INJECT {ev['kind']}",
+                     f"[{where}] {ev.get('detail') or ''}".rstrip())
+                )
+    for alert in dump.get("alerts", []):
+        if alert.get("event") == "firing":
+            rows.append(
+                (alert["fired_ns"], 1, "ALERT fired",
+                 f"{alert['objective']} [{_node_label(alert['node'])}]")
+            )
+        else:
+            rows.append(
+                (alert.get("resolved_ns") or alert["fired_ns"], 2,
+                 "ALERT resolved",
+                 f"{alert['objective']} [{_node_label(alert['node'])}]")
+            )
+    for ev in dump.get("breakers", []):
+        rows.append(
+            (ev["t_ns"], 3, f"BREAKER {ev['from']}->{ev['to']}",
+             f"{ev['tenant']}@node{ev['target']} reason={ev['reason']}")
+        )
+    for boost in dump.get("boosts", []):
+        pages = ",".join(f"{p:#x}" for p in boost.get("pages", []))
+        rows.append((boost["t_ns"], 4, "BOOST", f"cause={boost['cause']} pages={pages}"))
+    if score is not None and score.get("t0_ns") is not None:
+        t0 = score["t0_ns"]
+        if score.get("mttd_ns") is not None:
+            rows.append((t0 + score["mttd_ns"], 5, "DETECTED",
+                         f"MTTD={score['mttd_ns'] / 1e6:.3f}ms"))
+        if score.get("mttm_ns") is not None:
+            rows.append((t0 + score["mttm_ns"], 6, "RECOVERED",
+                         f"MTTM={score['mttm_ns'] / 1e6:.3f}ms "
+                         f"target={score['availability_target']}"))
+    rows.sort(key=lambda r: (r[0], r[1], r[2], r[3]))
+    grid = _Grid(
+        f"incident timeline — {dump.get('reason', '?')}",
+        ["t (us)", "event", "detail"],
+    )
+    for t_ns, _rank, kind, detail in rows:
+        grid.add(f"{t_ns / 1000.0:,.1f}", kind, detail)
+    return grid.render()
+
+
 def render_dashboard(run: dict, flame: bool = True) -> str:
     """Full dashboard text for one exported run dict (see ``load_run``)."""
     reg = MetricsRegistry.from_snapshot(run.get("metrics", {}))

@@ -166,6 +166,9 @@ class HealthEngine:
             predictor.boost_page(page, margin)
             self.boosted[page] = cause
         boosted = fresh[: self.boost_pages]
+        self.recorder.record_boost(
+            {"t_ns": frame.end_ns, "cause": cause, "pages": list(boosted)}
+        )
         return [
             "health boost cause=" + cause + " pages=" + ",".join(f"{p:#x}" for p in boosted)
         ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .recorder import FLIGHT_SCHEMA
+from .recorder import ACCEPTED_SCHEMAS
 
 _REL = "reliability"
 
@@ -97,7 +97,25 @@ def _timeline_events(data: dict) -> List[tuple]:
                         f"{event.get('detail', '')}".rstrip(),
                     )
                 )
-    events.append((data["at_ns"], 5, f"DUMP           reason={data['reason']}"))
+    for event in data.get("breakers", []):
+        events.append(
+            (
+                event["t_ns"],
+                5,
+                f"BREAKER        {event['tenant']}@node{event['target']} "
+                f"{event['from']}->{event['to']} reason={event['reason']}",
+            )
+        )
+    for boost in data.get("boosts", []):
+        pages = ",".join(f"{p:#x}" for p in boost.get("pages", []))
+        events.append(
+            (
+                boost["t_ns"],
+                6,
+                f"BOOST          cause={boost['cause']} pages={pages}",
+            )
+        )
+    events.append((data["at_ns"], 7, f"DUMP           reason={data['reason']}"))
     events.sort(key=lambda e: (e[0], e[1], e[2]))
     return events
 
@@ -130,7 +148,7 @@ def _fault_tail_counts(data: dict) -> List[str]:
 
 def render_postmortem(data: dict) -> str:
     """The full postmortem report for one flight-recorder dump."""
-    if data.get("schema") != FLIGHT_SCHEMA:
+    if data.get("schema") not in ACCEPTED_SCHEMAS:
         raise ValueError(f"not a flight-recorder dump (schema={data.get('schema')!r})")
     out: List[str] = []
     out.append("=" * 72)
@@ -153,11 +171,31 @@ def render_postmortem(data: dict) -> str:
     if spans:
         out.append("")
         out.append(f"-- span tail ({len(spans)} spans) --")
-        for name, node, start_ns, end_ns, parent_id in spans[-16:]:
+        for row in spans[-16:]:
+            # v1 rows have 5 fields; v2 appends an args dict
+            name, node, start_ns, end_ns, parent_id = row[:5]
+            args = row[5] if len(row) > 5 else {}
             nested = "  +- " if parent_id is not None else "  "
+            suffix = ""
+            if args:
+                kv = " ".join(f"{k}={args[k]}" for k in sorted(args))
+                suffix = f"  {{{kv}}}"
             out.append(
                 f"{_fmt_ns(start_ns)}{nested}{name} [node{node}] "
-                f"{end_ns - start_ns:.0f}ns"
+                f"{end_ns - start_ns:.0f}ns{suffix}"
+            )
+
+    samples = data.get("resilience", [])
+    if samples:
+        out.append("")
+        out.append(f"-- resilience tail ({len(samples)} samples) --")
+        for s in samples[-8:]:
+            out.append(
+                f"{_fmt_ns(s['t_ns'])}  {s['tenant']}: "
+                f"offered={s['offered']} admitted={s['admitted']} "
+                f"failed={s['failed']} timed_out={s['timed_out']} "
+                f"retries={s['retries']} hedges={s['hedges']} "
+                f"failovers={s['failovers']} shed={s['shed']}"
             )
 
     out.append("")

@@ -24,8 +24,15 @@ from .anomaly import Anomaly
 from .slo import Alert
 from .windows import WindowFrame
 
-#: Schema tag for flight-recorder dumps.
-FLIGHT_SCHEMA = "repro.telemetry.flightrec/1"
+#: Schema tag for flight-recorder dumps.  ``/2`` adds circuit-breaker
+#: transition tails, per-tenant resilience-counter tails, predictor
+#: boost records, and span args (the mitigation-side black box the
+#: incident scorer reads); ``/1`` dumps still load.
+FLIGHT_SCHEMA = "repro.telemetry.flightrec/2"
+
+#: Dump schemas :meth:`FlightRecorder.from_snapshot` / :func:`load_dump`
+#: accept.  v1 dumps simply have empty breaker/resilience/boost tails.
+ACCEPTED_SCHEMAS = ("repro.telemetry.flightrec/1", FLIGHT_SCHEMA)
 
 
 class FlightRecorder:
@@ -38,6 +45,9 @@ class FlightRecorder:
         anomaly_tail: int = 256,
         span_tail: int = 128,
         fault_tail: int = 64,
+        breaker_tail: int = 128,
+        resilience_tail: int = 256,
+        boost_tail: int = 64,
     ) -> None:
         self.capacity_windows = capacity_windows
         self.span_tail = span_tail
@@ -46,6 +56,12 @@ class FlightRecorder:
         self.alert_events: Deque[dict] = deque(maxlen=alert_tail)
         self.anomalies: Deque[Anomaly] = deque(maxlen=anomaly_tail)
         self.incidents: Deque[dict] = deque(maxlen=anomaly_tail)
+        #: circuit-breaker transitions (tenant/target/from/to/t_ns/reason)
+        self.breaker_events: Deque[dict] = deque(maxlen=breaker_tail)
+        #: per-tenant resilience counter samples, recorded on change
+        self.resilience_samples: Deque[dict] = deque(maxlen=resilience_tail)
+        #: predictor boosts (t_ns/cause/pages)
+        self.boosts: Deque[dict] = deque(maxlen=boost_tail)
         # populated by from_snapshot so a loaded dump re-snapshots exactly
         self._static_spans: List[list] = []
         self._static_faults: Dict[str, List[dict]] = {}
@@ -65,6 +81,18 @@ class FlightRecorder:
     def record_incident(self, incident: dict) -> None:
         """A fault-box recovery incident (blast radius + recoveries)."""
         self.incidents.append(incident)
+
+    def record_breaker(self, event: dict) -> None:
+        """One circuit-breaker transition (already structured)."""
+        self.breaker_events.append(event)
+
+    def record_resilience(self, sample: dict) -> None:
+        """One per-tenant resilience-counter sample (taken on change)."""
+        self.resilience_samples.append(sample)
+
+    def record_boost(self, boost: dict) -> None:
+        """One predictor boost decision (``t_ns``/``cause``/``pages``)."""
+        self.boosts.append(boost)
 
     # -- snapshotting ----------------------------------------------------------
 
@@ -90,6 +118,9 @@ class FlightRecorder:
             "alerts": list(self.alert_events),
             "anomalies": [a.to_dict() for a in self.anomalies],
             "incidents": list(self.incidents),
+            "breakers": list(self.breaker_events),
+            "resilience": list(self.resilience_samples),
+            "boosts": list(self.boosts),
             "spans": self._span_tail(trace),
             "fault_tail": self._fault_log_tail(machine),
         }
@@ -109,8 +140,12 @@ class FlightRecorder:
 
     @classmethod
     def from_snapshot(cls, data: dict) -> "FlightRecorder":
-        """Rebuild a recorder from a dump (postmortem / round-trip path)."""
-        if data.get("schema") != FLIGHT_SCHEMA:
+        """Rebuild a recorder from a dump (postmortem / round-trip path).
+
+        Accepts every schema in :data:`ACCEPTED_SCHEMAS`; a v1 dump
+        loads with empty breaker/resilience/boost tails.
+        """
+        if data.get("schema") not in ACCEPTED_SCHEMAS:
             raise ValueError(
                 f"not a flight-recorder dump (schema={data.get('schema')!r})"
             )
@@ -121,6 +156,9 @@ class FlightRecorder:
         for adict in data.get("anomalies", []):
             rec.anomalies.append(Anomaly.from_dict(adict))
         rec.incidents.extend(data.get("incidents", []))
+        rec.breaker_events.extend(data.get("breakers", []))
+        rec.resilience_samples.extend(data.get("resilience", []))
+        rec.boosts.extend(data.get("boosts", []))
         rec._static_spans = list(data.get("spans", []))
         rec._static_faults = dict(data.get("fault_tail", {}))
         return rec
@@ -132,7 +170,8 @@ class FlightRecorder:
             return self._static_spans
         tail = trace.spans[-self.span_tail :]
         return [
-            [s.name, s.node, s.start_ns, s.end_ns, s.parent_id]
+            [s.name, s.node, s.start_ns, s.end_ns, s.parent_id,
+             {k: _jsonable(v) for k, v in s.args}]
             for s in tail
         ]
 
@@ -155,10 +194,17 @@ class FlightRecorder:
         }
 
 
+def _jsonable(value):
+    """Span-arg values coerced to something JSON round-trips exactly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
 def load_dump(path: Union[str, pathlib.Path]) -> dict:
     """Read and schema-check a flight-recorder dump file."""
     data = json.loads(pathlib.Path(path).read_text())
-    if data.get("schema") != FLIGHT_SCHEMA:
+    if data.get("schema") not in ACCEPTED_SCHEMAS:
         raise ValueError(
             f"{path}: not a flight-recorder dump (schema={data.get('schema')!r})"
         )

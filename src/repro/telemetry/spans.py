@@ -25,6 +25,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+#: Sentinel for :meth:`TraceBuffer.begin`'s ``parent_id``: distinguishes
+#: "use the open-span stack" (default) from an explicit parent — which
+#: may legitimately be ``None`` (force a root span).
+STACK_PARENT = object()
+
 
 @dataclass
 class Span:
@@ -53,18 +58,32 @@ class TraceBuffer:
 
     # -- recording -------------------------------------------------------------
 
-    def begin(self, name: str, node: int, start_ns: float, **args) -> Span:
+    def begin(
+        self, name: str, node: int, start_ns: float, parent_id=STACK_PARENT, **args
+    ) -> Span:
+        """Open a span.  ``parent_id`` defaults to the top of the open-span
+        stack; pass an explicit span id (or ``None`` for a root) when the
+        causal parent is *not* the enclosing span — e.g. a hedge duplicate
+        fired later from the event heap, which must chain to the batch
+        span that launched it, not to whatever happens to be open."""
+        if parent_id is STACK_PARENT:
+            parent_id = self._stack[-1].span_id if self._stack else None
         span = Span(
             span_id=self._next_id,
             name=name,
             node=node,
             start_ns=start_ns,
-            parent_id=self._stack[-1].span_id if self._stack else None,
+            parent_id=parent_id,
             args=tuple(sorted(args.items())),
         )
         self._next_id += 1
         self._stack.append(span)
         return span
+
+    @staticmethod
+    def annotate(span: Span, **args) -> None:
+        """Merge late-bound args (e.g. an outcome) into an open span."""
+        span.args = tuple(sorted(dict(span.args, **args).items()))
 
     def end(self, span: Span, end_ns: float) -> None:
         # close any forgotten children first so the stack stays consistent
@@ -144,6 +163,63 @@ class TraceBuffer:
             lines.append(f"{';'.join(path):<{width}}  {total:>14,.1f}  {count:>7}")
         if len(rows) > max_rows:
             lines.append(f"... {len(rows) - max_rows} more paths")
+        return "\n".join(lines)
+
+    # -- critical path ---------------------------------------------------------
+
+    def critical_path(self) -> List[Span]:
+        """The heaviest causal chain, root to leaf.
+
+        Walks every cause-linked tree and returns the root→leaf chain
+        maximising total span duration — the request-path answer to
+        "where did the time go".  Deterministic: ties break toward the
+        smallest span id, so two identical runs report the same chain.
+        """
+        if not self.spans:
+            return []
+        by_id = self._by_id()
+        kids: Dict[int, List[Span]] = {}
+        roots: List[Span] = []
+        for s in self.spans:
+            if s.parent_id is not None and s.parent_id in by_id:
+                kids.setdefault(s.parent_id, []).append(s)
+            else:
+                roots.append(s)
+        memo: Dict[int, Tuple[float, List[Span]]] = {}
+
+        def solve(span: Span) -> Tuple[float, List[Span]]:
+            cached = memo.get(span.span_id)
+            if cached is not None:
+                return cached
+            best_total, best_path = 0.0, []
+            for child in sorted(kids.get(span.span_id, ()), key=lambda c: c.span_id):
+                total, path = solve(child)
+                if total > best_total:
+                    best_total, best_path = total, path
+            result = (span.duration_ns + best_total, [span] + best_path)
+            memo[span.span_id] = result
+            return result
+
+        top: Tuple[float, List[Span]] = (-1.0, [])
+        for root in sorted(roots, key=lambda r: r.span_id):
+            total, path = solve(root)
+            if total > top[0]:
+                top = (total, path)
+        return top[1]
+
+    def critical_path_summary(self) -> str:
+        """Terminal-friendly rendering of :meth:`critical_path`."""
+        path = self.critical_path()
+        if not path:
+            return "(no spans recorded)"
+        total = sum(s.duration_ns for s in path)
+        lines = [f"critical path: {len(path)} spans, {total:,.1f} ns"]
+        for depth, s in enumerate(path):
+            where = f"node{s.node}" if s.node >= 0 else "rack"
+            lines.append(
+                f"{'  ' * depth}{s.name} [{where}] "
+                f"start={s.start_ns:,.1f} dur={s.duration_ns:,.1f}"
+            )
         return "\n".join(lines)
 
     # -- internals -------------------------------------------------------------

@@ -291,10 +291,11 @@ class _HedgeOp:
 
     __slots__ = ("engine", "st", "rs", "latency_arr", "idx", "arrivals",
                  "key_idx", "is_get", "primary_latency", "fire_ns",
-                 "ev_primary", "ev_hedge", "done")
+                 "ev_primary", "ev_hedge", "done", "parent_span")
 
     def __init__(self, engine, st, rs, latency_arr, idx, arrivals,
-                 key_idx, is_get, primary_latency, fire_ns) -> None:
+                 key_idx, is_get, primary_latency, fire_ns,
+                 parent_span=None) -> None:
         self.engine = engine
         self.st = st
         self.rs = rs
@@ -308,6 +309,10 @@ class _HedgeOp:
         self.ev_primary = None
         self.ev_hedge = None
         self.done = False
+        #: span id of the batch that launched the hedge — fire() runs
+        #: later from the event heap with an empty span stack, so the
+        #: causal link must be carried explicitly
+        self.parent_span = parent_span
 
     def _finish(self) -> None:
         self.done = True
@@ -334,11 +339,28 @@ class _HedgeOp:
         k = len(self.idx)
         ctx = engine.machine.context(replica)
         before = ctx.now()
+        sp = None
+        if _TEL.tracing:
+            # explicit parent: the batch span closed long ago and the
+            # stack is empty at event dispatch — without the carried id
+            # the hedge would orphan into its own root (the span-context
+            # propagation bug this parameter fixes)
+            sp = _TEL.trace.begin(
+                "traffic.hedge", replica, max(before, self.fire_ns),
+                parent_id=self.parent_span,
+                tenant=st.spec.name, target=replica, n=k, outcome="failed",
+            )
         try:
-            n_bytes = engine.backend.run_batch(ctx, st, self.key_idx, self.is_get)
-        except FAILURES:
-            engine._breaker_outcome(rs, replica, now, ok=False)
-            return  # primary result stands
+            try:
+                n_bytes = engine.backend.run_batch(ctx, st, self.key_idx, self.is_get)
+            except FAILURES:
+                engine._breaker_outcome(rs, replica, now, ok=False)
+                return  # primary result stands
+            if sp is not None:
+                _TEL.trace.annotate(sp, outcome="ok")
+        finally:
+            if sp is not None:
+                _TEL.trace.end(sp, ctx.now())
         charged = ctx.now() - before
         engine._breaker_outcome(rs, replica, now, ok=True)
         svc = max(1.0, charged / k)
@@ -371,6 +393,12 @@ class ResilientTrafficEngine(TrafficEngine):
     :data:`DISABLED`).  With :data:`DISABLED` everywhere the engine is
     bit-identical to :class:`~repro.workloads.traffic.TrafficEngine` on
     a healthy rack, and merely *counts* losses on a faulty one.
+
+    ``crash_detection`` wires the machine's crash hook into the
+    breakers (fail-fast on out-of-band evidence).  Turning it off — the
+    incident benchmark's detection-off arm — leaves mitigation with
+    only inline evidence: breakers must *infer* a dead node from failed
+    attempts, paying the error-rate window before failing over.
     """
 
     def __init__(
@@ -378,12 +406,16 @@ class ResilientTrafficEngine(TrafficEngine):
         kernel,
         tenants,
         resilience: Union[ResilienceSpec, Dict[str, ResilienceSpec], None] = None,
+        crash_detection: bool = True,
         **kwargs,
     ) -> None:
         super().__init__(kernel, tenants, **kwargs)
         self._rstate: Dict[str, _ResilienceState] = {}
         #: breaker transition lines in occurrence order (journal fodder)
         self.breaker_log: List[str] = []
+        #: the same transitions, structured (flight-recorder fodder):
+        #: dicts with tenant/target/from/to/t_ns/reason
+        self.breaker_events: List[dict] = []
         self._hedge_ops: set = set()
         for name, st in self.tenants.items():
             if isinstance(resilience, dict):
@@ -391,7 +423,9 @@ class ResilientTrafficEngine(TrafficEngine):
             else:
                 spec = resilience if resilience is not None else DISABLED
             self._rstate[name] = self._build_state(st, spec)
-        self.machine.on_crash(self._on_node_crash)
+        self.crash_detection = bool(crash_detection)
+        if self.crash_detection:
+            self.machine.on_crash(self._on_node_crash)
 
     def _build_state(self, st: _TenantState, spec: ResilienceSpec) -> _ResilienceState:
         primary = st.spec.node
@@ -422,6 +456,21 @@ class ResilientTrafficEngine(TrafficEngine):
         if line is None:
             return
         self.breaker_log.append(line)
+        # the line format is the stable journal contract; parse it back
+        # into a structured event rather than threading a second payload
+        # through every transition site
+        parts = line.split()
+        prev, _, state = parts[3].partition("->")
+        self.breaker_events.append(
+            {
+                "tenant": parts[1][len("tenant="):],
+                "target": int(parts[2][len("target="):]),
+                "from": prev,
+                "to": state,
+                "t_ns": float(parts[4][len("t="):]),
+                "reason": parts[5][len("reason="):],
+            }
+        )
         if _TEL.enabled and "->open" in line:
             _TEL.tenant_add(st.spec.node, st.spec.name, "resilience.breaker_opens")
 
@@ -488,6 +537,9 @@ class ResilientTrafficEngine(TrafficEngine):
         if _TEL.enabled:
             name = "resilience.shed" if shed else "resilience.failed"
             _TEL.tenant_add(st.spec.node, st.spec.name, name, n)
+            # aggregate loss counter: the availability SLO and the
+            # incident scorer read exactly one "bad" series per tenant
+            _TEL.tenant_add(st.spec.node, st.spec.name, "resilience.lost", n)
 
     def _run_resilient(self, st, rs, arrivals, key_idx, is_get) -> None:
         spec = rs.spec
@@ -512,7 +564,9 @@ class ResilientTrafficEngine(TrafficEngine):
             ctx = self.machine.context(target)
             before = ctx.now()
             try:
-                n_bytes = self.backend.run_batch(ctx, st, key_idx, is_get)
+                n_bytes = self._traced_attempt(
+                    ctx, st, key_idx, is_get, target=target, attempt=attempt
+                )
                 charged = ctx.now() - before
                 self._breaker_outcome(rs, target, now, ok=True)
                 break
@@ -564,6 +618,8 @@ class ResilientTrafficEngine(TrafficEngine):
                 if tel:
                     _TEL.tenant_add(st.spec.node, st.spec.name,
                                     "resilience.timed_out", n_late)
+                    _TEL.tenant_add(st.spec.node, st.spec.name,
+                                    "resilience.lost", n_late)
                 arrivals = arrivals[ok]
                 latency = latency[ok]
                 key_idx = key_idx[ok]
@@ -614,6 +670,10 @@ class ResilientTrafficEngine(TrafficEngine):
         if _TEL.enabled:
             _TEL.tenant_add(st.spec.node, st.spec.name, "resilience.hedges", k)
         arr_sub = arrivals[over]
+        parent = None
+        if _TEL.tracing:
+            cur = _TEL.trace.current()
+            parent = cur.span_id if cur is not None else None
         op = _HedgeOp(
             engine=self,
             st=st,
@@ -625,6 +685,7 @@ class ResilientTrafficEngine(TrafficEngine):
             is_get=is_get[over],
             primary_latency=recorded[over].copy(),
             fire_ns=max(now, float(arr_sub[0]) + delay),
+            parent_span=parent,
         )
         primary_done = float(np.max(arr_sub + op.primary_latency))
         # primary scheduled first: on a tie the response already in
@@ -702,6 +763,9 @@ class ChaosUnderLoad:
         self.events = engine.events
         # reuse the step-runner's action handlers + seeded RNG contract
         self._runner = CampaignRunner(kernel.machine, kernel, health=self.health)
+        # flight-recorder sync cursors (see sync_recorder)
+        self._breaker_synced = 0
+        self._res_last: Dict[str, tuple] = {}
 
     def run(
         self,
@@ -748,6 +812,7 @@ class ChaosUnderLoad:
                 EventCore.cancel(ev)
         if hasattr(self.engine, "finalize"):
             self.engine.finalize()
+        self.sync_recorder()
         unfired = len(self.campaign.events) - len(fired)
         if unfired:
             lines.append(f"unfired={unfired}")
@@ -776,3 +841,47 @@ class ChaosUnderLoad:
         feed = getattr(self.engine, "feed_health_alerts", None)
         if feed is not None and self.health is not None:
             feed(self.health)
+        self.sync_recorder()
+
+    def sync_recorder(self) -> None:
+        """Mirror the engine's mitigation state into the flight recorder.
+
+        Pushes breaker transitions not yet recorded and a per-tenant
+        resilience-counter sample whenever the counters moved since the
+        last sync — so a crash dump shows *mitigation in flight*, not
+        just the detection side.  Idempotent; safe on base engines.
+        """
+        if self.health is None:
+            return
+        rec = self.health.recorder
+        events = getattr(self.engine, "breaker_events", None)
+        if events is not None:
+            for event in events[self._breaker_synced:]:
+                rec.record_breaker(event)
+            self._breaker_synced = len(events)
+        now = self.events.now_ns
+        for name in sorted(self.engine.tenants):
+            st = self.engine.tenants[name]
+            sample = (
+                st.offered, st.admitted, st.failed, st.timed_out,
+                st.retries, st.hedges, st.hedge_wins, st.failovers,
+                st.dropped_shed,
+            )
+            if self._res_last.get(name) == sample:
+                continue
+            self._res_last[name] = sample
+            rec.record_resilience(
+                {
+                    "t_ns": now,
+                    "tenant": name,
+                    "offered": st.offered,
+                    "admitted": st.admitted,
+                    "failed": st.failed,
+                    "timed_out": st.timed_out,
+                    "retries": st.retries,
+                    "hedges": st.hedges,
+                    "hedge_wins": st.hedge_wins,
+                    "failovers": st.failovers,
+                    "shed": st.dropped_shed,
+                }
+            )

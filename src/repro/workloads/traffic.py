@@ -467,7 +467,22 @@ class TrafficEngine:
         # so resilient and base engines replay the same RNG stream
         key_idx = st.rng.integers(0, spec.n_keys, size=n)
         is_get = st.rng.random(n) < spec.get_ratio
-        self._run_admitted(st, arrivals, key_idx, is_get)
+        if not _TEL.tracing:
+            self._run_admitted(st, arrivals, key_idx, is_get)
+        else:
+            # root of the batch's causal tree: attempts, retries, hedges
+            # and data-plane spans all chain under it, so a failed
+            # request walks back to the node that dropped it.  Tracing
+            # reads clocks, never advances them — simulated outcomes
+            # are bit-identical either way.
+            now = self.events.now_ns
+            sp = _TEL.trace.begin(
+                "traffic.batch", spec.node, now, tenant=spec.name, n=n
+            )
+            try:
+                self._run_admitted(st, arrivals, key_idx, is_get)
+            finally:
+                _TEL.trace.end(sp, max(now, st.busy_until_ns))
         if self._stop_at_requests is not None and self._total_offered() >= self._stop_at_requests:
             self._halt()
 
@@ -499,7 +514,8 @@ class TrafficEngine:
         n = len(arrivals)
         ctx = self.machine.context(st.spec.node)
         before = ctx.now()
-        n_bytes = self.backend.run_batch(ctx, st, key_idx, is_get)
+        n_bytes = self._traced_attempt(ctx, st, key_idx, is_get,
+                                       target=st.spec.node, attempt=0)
         charged = ctx.now() - before
         svc_actual = max(1.0, charged / n)
         st.svc_est_ns = svc_actual
@@ -508,6 +524,33 @@ class TrafficEngine:
         completion = self._completions(arrivals, svc_actual, st.busy_until_ns)
         st.busy_until_ns = float(completion[-1])
         self._record(st, arrivals, completion - arrivals, n_bytes)
+
+    def _traced_attempt(
+        self,
+        ctx: NodeContext,
+        st: _TenantState,
+        key_idx: np.ndarray,
+        is_get: np.ndarray,
+        target: int,
+        attempt: int,
+    ) -> int:
+        """One backend execution attempt, wrapped in a ``traffic.attempt``
+        span when tracing is on.  The span carries the target node and
+        outcome, so a trace walks a failed request back to the node (or
+        severed link) that refused it.  Exceptions propagate unchanged."""
+        if not _TEL.tracing:
+            return self.backend.run_batch(ctx, st, key_idx, is_get)
+        trace = _TEL.trace
+        sp = trace.begin(
+            "traffic.attempt", target, ctx.now(),
+            tenant=st.spec.name, target=target, attempt=attempt, outcome="failed",
+        )
+        try:
+            n_bytes = self.backend.run_batch(ctx, st, key_idx, is_get)
+            trace.annotate(sp, outcome="ok")
+            return n_bytes
+        finally:
+            trace.end(sp, ctx.now())
 
     def _record(
         self,

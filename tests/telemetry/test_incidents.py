@@ -1,0 +1,260 @@
+"""The scored incident benchmark: determinism, pinned scores, MTTM
+domination, offline scoring, CLI, and the dashboard timeline panel.
+
+The live-run tests drive the ``ue-storm`` scenario (the smoke scenario)
+end-to-end; scoring-unit tests work on small hand-built dumps so the
+metric math is pinned independently of the simulator.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.dashboard import render_incident_timeline
+from repro.telemetry.incidents import (
+    blame_set,
+    get_scenario,
+    ground_truth,
+    render_score,
+    run_scenario,
+    scenarios,
+    score_dump,
+)
+from repro.telemetry.incidents.__main__ import main as incidents_main
+from repro.telemetry.spans import validate_chrome_trace
+
+pytestmark = pytest.mark.incidents
+
+
+@pytest.fixture(scope="module")
+def ue_storm_on():
+    return run_scenario(get_scenario("ue-storm"), detection=True)
+
+
+@pytest.fixture(scope="module")
+def ue_storm_off():
+    return run_scenario(get_scenario("ue-storm"), detection=False)
+
+
+class TestCatalogue:
+    def test_at_least_five_scenarios(self):
+        table = scenarios()
+        assert len(table) >= 5
+        assert list(table)[0] == "ue-storm"  # the smoke/CI scenario
+        seeds = [s.campaign.seed for s in table.values()]
+        assert len(set(seeds)) == len(seeds)  # each seed distinct
+
+    def test_unknown_scenario_lists_the_catalogue(self):
+        with pytest.raises(KeyError, match="ue-storm"):
+            get_scenario("nope")
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical(self, ue_storm_on):
+        again = run_scenario(get_scenario("ue-storm"), detection=True)
+        assert ue_storm_on.journal == again.journal
+        assert ue_storm_on.report.digest == again.report.digest
+        assert (json.dumps(ue_storm_on.dump, sort_keys=True)
+                == json.dumps(again.dump, sort_keys=True))
+        assert ue_storm_on.score == again.score
+
+    def test_pinned_journal_digest(self, ue_storm_on):
+        # the whole pipeline (traffic, chaos, breakers, telemetry) in
+        # one number: drift here means simulated behaviour changed
+        assert ue_storm_on.report.digest == (
+            "fc112c81fb406cc0786f32ba6dc182994de6def3fa5893929d5ed51d93a388ba"
+        )
+
+    def test_pinned_scores(self, ue_storm_on):
+        score = ue_storm_on.score
+        # first UE storm: scheduled at 6 ms, lands on the batch boundary
+        # just before it
+        assert score["t0_ns"] == pytest.approx(5982382.461436861, abs=1e-6)
+        assert score["mttd_ns"] == pytest.approx(1767617.5385631388, abs=1e-6)
+        assert score["mttm_ns"] == 0.0  # crash hook: no degraded window
+        assert score["recovered"] is True
+        loc = score["localization"]
+        assert loc["recall"] == 1.0
+        assert loc["f1"] == 1.0
+
+    def test_scoring_a_dump_offline_matches_the_live_score(self, ue_storm_on):
+        rescored = score_dump(
+            json.loads(json.dumps(ue_storm_on.dump)),
+            availability_target=get_scenario("ue-storm").availability_target,
+            scenario="ue-storm",
+        )
+        assert rescored == ue_storm_on.score
+
+
+class TestDetectionArms:
+    def test_detection_strictly_dominates_mttm(self, ue_storm_on, ue_storm_off):
+        assert ue_storm_off.score["mttm_ns"] > ue_storm_on.score["mttm_ns"]
+        assert ue_storm_off.score["mttm_ns"] == pytest.approx(
+            8017617.538563139, abs=1e-6)
+
+    def test_detection_off_loses_requests(self, ue_storm_off):
+        blast = ue_storm_off.score["blast_radius"]
+        assert blast["requests_lost"] == 45.0
+        assert blast["tenants"]  # someone got hurt
+        assert ue_storm_off.score["mttd_ns"] is None  # nothing watching
+
+    def test_arms_share_ground_truth(self, ue_storm_on, ue_storm_off):
+        t0_on, truth_on = ground_truth(ue_storm_on.dump)
+        t0_off, truth_off = ground_truth(ue_storm_off.dump)
+        assert t0_on == t0_off
+        assert truth_on == truth_off
+
+
+class TestTracing:
+    def test_chrome_trace_exports_and_validates(self, ue_storm_on):
+        n = validate_chrome_trace(
+            json.loads(json.dumps(ue_storm_on.chrome_trace)))
+        assert n > 0
+
+    def test_critical_path_summary_present(self, ue_storm_on):
+        assert ue_storm_on.critical_path.startswith("critical path:")
+        assert "traffic.batch" in ue_storm_on.critical_path
+
+    def test_dump_span_tail_has_request_path_spans(self, ue_storm_on):
+        names = {row[0] for row in ue_storm_on.dump["spans"]}
+        assert "traffic.batch" in names
+        assert "traffic.attempt" in names
+
+
+class TestScoringUnits:
+    def _dump(self):
+        return {
+            "schema": "repro.telemetry.flightrec/2",
+            "reason": "unit",
+            "at_ns": 4e6,
+            "windows": [
+                {"index": 0, "start_ns": 0.0, "end_ns": 1e6, "windows": 1,
+                 "counters": [[0, "traffic/web", "admitted", 100.0]],
+                 "gauges": [], "hists": []},
+                {"index": 1, "start_ns": 1e6, "end_ns": 2e6, "windows": 1,
+                 "counters": [[0, "traffic/web", "admitted", 80.0],
+                              [0, "traffic/web", "resilience.lost", 20.0]],
+                 "gauges": [], "hists": []},
+                {"index": 2, "start_ns": 2e6, "end_ns": 3e6, "windows": 1,
+                 "counters": [[0, "traffic/web", "admitted", 100.0]],
+                 "gauges": [], "hists": []},
+            ],
+            "alerts": [
+                {"objective": "availability:web", "node": 0, "alert_id": 1,
+                 "fired_ns": 1.2e6, "fast_burn": 9.0, "slow_burn": 2.0,
+                 "event": "firing"},
+                {"objective": "noise", "node": 1, "alert_id": 2,
+                 "fired_ns": 0.1e6, "fast_burn": 9.0, "slow_burn": 2.0,
+                 "event": "firing"},  # pre-injection: ignored
+            ],
+            "anomalies": [],
+            "incidents": [],
+            "breakers": [
+                {"tenant": "web", "target": 0, "from": "closed", "to": "open",
+                 "t_ns": 1.1e6, "reason": "node-crash"},
+            ],
+            "boosts": [
+                {"t_ns": 1.3e6, "cause": "ue", "pages": [0x2000]},
+            ],
+            "spans": [
+                ["traffic.attempt", 0, 1.05e6, 1.06e6, 1,
+                 {"outcome": "failed", "target": 1, "tenant": "web"}],
+                ["old.row", 0, 1.0e6, 1.1e6, None],  # v1 row: skipped
+            ],
+            "fault_tail": {
+                "0": [{"kind": "node_crash", "time_ns": 1e6, "addr": None,
+                       "detail": ""}],
+                "-1": [{"kind": "ue", "time_ns": 1.5e6, "addr": 0x2abc,
+                        "detail": ""}],
+            },
+        }
+
+    def test_ground_truth_sites_and_t0(self):
+        t0, truth = ground_truth(self._dump())
+        assert t0 == 1e6
+        assert truth == {"node:0", "page:0x2000"}  # addr rounded to page
+
+    def test_blame_set_sources_and_t0_filter(self):
+        blame = blame_set(self._dump(), 1e6)
+        # alert node0 + breaker open node0 + boost page + failed attempt
+        # on target 1; the pre-t0 alert on node1 is excluded
+        assert blame == {"node:0", "node:1", "page:0x2000"}
+
+    def test_score_math(self):
+        score = score_dump(self._dump(), availability_target=0.999,
+                           scenario="unit")
+        assert score["mttd_ns"] == pytest.approx(0.2e6)
+        assert score["mttm_ns"] == pytest.approx(1e6)  # window 1 end - t0
+        assert score["recovered"] is True  # last window back above target
+        loc = score["localization"]
+        assert loc["precision"] == pytest.approx(2 / 3, abs=1e-6)
+        assert loc["recall"] == 1.0
+        blast = score["blast_radius"]
+        assert blast["requests_lost"] == 20.0
+        assert blast["tenants"] == ["web"]
+        assert blast["degraded_windows"] == 1
+
+    def test_empty_dump_scores_clean(self):
+        score = score_dump({"schema": "repro.telemetry.flightrec/2",
+                            "reason": "x", "at_ns": 0.0})
+        assert score["t0_ns"] is None
+        assert score["mttd_ns"] is None
+        assert score["recovered"] is True
+
+    def test_render_score_one_pager(self):
+        text = render_score(score_dump(self._dump(), scenario="unit"))
+        assert text.splitlines()[0] == "== incident score: unit =="
+        assert "MTTD:              0.200 ms" in text
+        assert "requests_lost=20" in text
+
+
+class TestDashboardTimeline:
+    def test_incident_timeline_panel(self, ue_storm_on):
+        panel = render_incident_timeline(ue_storm_on.dump, ue_storm_on.score)
+        assert "incident timeline — incident:ue-storm:on" in panel
+        assert "INJECT" in panel
+        assert "DETECTED" in panel
+        assert "RECOVERED" in panel
+        assert "BREAKER" in panel
+
+    def test_timeline_without_score_omits_markers(self, ue_storm_on):
+        panel = render_incident_timeline(ue_storm_on.dump)
+        assert "INJECT" in panel
+        assert "DETECTED" not in panel
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert incidents_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenarios():
+            assert name in out
+
+    def test_score_and_replay_a_dump_file(self, ue_storm_on, tmp_path, capsys):
+        path = tmp_path / "dump.json"
+        path.write_text(json.dumps(ue_storm_on.dump, sort_keys=True))
+        assert incidents_main(["score", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== incident score: incident:ue-storm:on ==" in out
+        assert "MTTD:              1.768 ms" in out
+
+        assert incidents_main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "incident timeline" in out
+        assert "== incident score:" in out
+
+    def test_score_json_output(self, ue_storm_on, tmp_path, capsys):
+        dump_path = tmp_path / "dump.json"
+        dump_path.write_text(json.dumps(ue_storm_on.dump, sort_keys=True))
+        score_path = tmp_path / "score.json"
+        assert incidents_main(
+            ["score", str(dump_path), "--json", str(score_path)]) == 0
+        capsys.readouterr()
+        written = json.loads(score_path.read_text())
+        # the CLI infers the availability target from the dump reason, so
+        # the offline score matches the live one metric-for-metric; only
+        # the scenario label differs (the CLI uses the dump reason)
+        assert written.pop("scenario") == "incident:ue-storm:on"
+        live = dict(ue_storm_on.score)
+        assert live.pop("scenario") == "ue-storm"
+        assert written == live
