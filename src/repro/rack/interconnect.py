@@ -9,10 +9,13 @@ access.  Paths are recomputed lazily when topology changes.
 
 from __future__ import annotations
 
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 import networkx as nx
+
+from ..telemetry import RACK_WIDE, TELEMETRY as _TEL
 
 
 class InterconnectError(Exception):
@@ -33,6 +36,17 @@ def switch_vertex(switch_id: int) -> str:
 
 
 GMEM_VERTEX = "gmem"
+
+
+def link_id(u: str, v: str) -> str:
+    """Canonical name for the (undirected) link between two vertices."""
+    return f"{u}|{v}" if u <= v else f"{v}|{u}"
+
+
+def link_endpoints(link: str) -> Tuple[str, str]:
+    """Inverse of :func:`link_id`."""
+    u, _, v = link.partition("|")
+    return u, v
 
 
 @dataclass(frozen=True)
@@ -140,21 +154,42 @@ class VniTable:
 
     # -- policy queries --------------------------------------------------------
 
-    def rate_bytes_per_s(self, vni: Optional[int] = None) -> float:
-        """Last completed-window byte rate for one VNI (or aggregate)."""
-        if vni is None:
-            return self._agg.rate_bytes_per_s
-        self._check(vni)
-        return self.stats[vni].rate_bytes_per_s
+    def _rate(self, s: VniStats, now_ns: Optional[float]) -> float:
+        """``s``'s current byte rate, decayed against ``now_ns``.
 
-    def utilisation(self) -> float:
+        Without ``now_ns`` this is the last *completed* window's rate —
+        which, during silence, reports the final busy window forever.
+        With ``now_ns``, once more than a window has elapsed since the
+        window opened, the completed rate is stale and the *open*
+        window's own bytes-over-elapsed becomes the estimate: still the
+        true rate mid-burst, and decaying smoothly to zero through a
+        silence — so headroom and admission never police ghosts.
+        """
+        if now_ns is None:
+            return s.rate_bytes_per_s
+        elapsed = now_ns - s.window_start_ns
+        if elapsed < self.window_ns or elapsed <= 0:
+            return s.rate_bytes_per_s
+        return s.window_bytes * 1e9 / elapsed
+
+    def rate_bytes_per_s(
+        self, vni: Optional[int] = None, now_ns: Optional[float] = None
+    ) -> float:
+        """Current byte rate for one VNI (or aggregate); pass ``now_ns``
+        to decay stale windows (see :meth:`_rate`)."""
+        if vni is None:
+            return self._rate(self._agg, now_ns)
+        self._check(vni)
+        return self._rate(self.stats[vni], now_ns)
+
+    def utilisation(self, now_ns: Optional[float] = None) -> float:
         """Aggregate windowed rate over fabric capacity (inf capacity -> 0)."""
         if self.capacity_bytes_per_s == float("inf"):
             return 0.0
-        return self._agg.rate_bytes_per_s / self.capacity_bytes_per_s
+        return self._rate(self._agg, now_ns) / self.capacity_bytes_per_s
 
-    def saturated(self) -> bool:
-        return self.utilisation() >= 1.0
+    def saturated(self, now_ns: Optional[float] = None) -> bool:
+        return self.utilisation(now_ns) >= 1.0
 
     def fair_share_bytes_per_s(self, vni: int) -> float:
         """``vni``'s weighted share of fabric capacity."""
@@ -164,14 +199,27 @@ class VniTable:
             return float("inf")
         return self.capacity_bytes_per_s * self._weights[vni] / total
 
-    def over_share(self, vni: int) -> bool:
+    def over_share(self, vni: int, now_ns: Optional[float] = None) -> bool:
         """Is ``vni`` running past its weighted share of the fabric?"""
-        return self.rate_bytes_per_s(vni) > self.fair_share_bytes_per_s(vni)
+        return self.rate_bytes_per_s(vni, now_ns) > self.fair_share_bytes_per_s(vni)
 
-    def snapshot(self) -> dict:
-        """Deterministic JSON-ready accounting dump (sorted by VNI)."""
+    def snapshot(self, now_ns: Optional[float] = None) -> dict:
+        """Deterministic JSON-ready accounting dump (sorted by VNI).
+
+        The ``aggregate`` row carries the totals every consumer used to
+        recompute: lifetime bytes/requests across VNIs, total drops
+        (derived — drops are only ever counted per VNI), and the current
+        aggregate utilisation.
+        """
         return {
             "capacity_bytes_per_s": self.capacity_bytes_per_s,
+            "aggregate": {
+                "bytes": self._agg.bytes,
+                "requests": self._agg.requests,
+                "dropped": sum(s.dropped for s in self.stats),
+                "rate_bytes_per_s": round(self._rate(self._agg, now_ns), 3),
+                "utilisation": round(self.utilisation(now_ns), 6),
+            },
             "vnis": [
                 {
                     "vni": vni,
@@ -180,7 +228,7 @@ class VniTable:
                     "bytes": s.bytes,
                     "requests": s.requests,
                     "dropped": s.dropped,
-                    "rate_bytes_per_s": round(s.rate_bytes_per_s, 3),
+                    "rate_bytes_per_s": round(self._rate(s, now_ns), 3),
                 }
                 for vni, s in enumerate(self.stats)
             ],
@@ -191,18 +239,247 @@ class VniTable:
             raise VniError(f"no VNI {vni} (have {len(self._names)})")
 
 
+class _LinkState:
+    """Windowed per-VNI accounting for one fabric link.
+
+    Mirrors the :class:`VniStats` window machinery, but per link *and*
+    per VNI: the aggregate window rolls exactly like a VNI window, and
+    when a completed window's rate met or exceeded the link's capacity,
+    every VNI's bytes in that window are banked as *saturated bytes* —
+    the raw material of contention blame ("of the bytes moved while
+    this link was saturated, whose were they?").
+    """
+
+    __slots__ = (
+        "link", "capacity_bytes_per_s", "bytes", "requests",
+        "window_start_ns", "window_bytes", "rate_bytes_per_s",
+        "vni_bytes", "vni_requests", "vni_window_bytes",
+        "vni_saturated_bytes", "saturated_bytes", "saturated_windows",
+        "rates", "downs",
+    )
+
+    def __init__(self, link: str, window_start_ns: float = 0.0) -> None:
+        self.link = link
+        self.capacity_bytes_per_s = float("inf")
+        self.bytes = 0
+        self.requests = 0
+        self.window_start_ns = window_start_ns
+        self.window_bytes = 0
+        self.rate_bytes_per_s = 0.0
+        self.vni_bytes: Dict[int, int] = {}
+        self.vni_requests: Dict[int, int] = {}
+        self.vni_window_bytes: Dict[int, int] = {}
+        self.vni_saturated_bytes: Dict[int, int] = {}
+        self.saturated_bytes = 0
+        self.saturated_windows = 0
+        #: recent completed windows as ``(end_ns, rate)`` — the slope
+        #: input for time-to-saturation forecasting
+        self.rates: Deque[Tuple[float, float]] = deque(maxlen=8)
+        #: simulated times this link went down (flap forensics)
+        self.downs: List[float] = []
+
+
+class LinkTable:
+    """Per-link, per-VNI windowed byte/request accounting.
+
+    The :class:`VniTable` answers "which tenant is driving the fabric";
+    this table answers "over which links" — DRackSim-style per-fabric-
+    port accounting.  Charges arrive from :meth:`Interconnect.charge`
+    already resolved to a routed path, so every byte lands on the exact
+    links it traversed.  Pure counter state: charging never advances a
+    clock, iteration orders are deterministic, and two same-seed runs
+    produce byte-identical snapshots.
+    """
+
+    def __init__(self, window_ns: float = 1e6) -> None:
+        self.window_ns = float(window_ns)
+        self._links: Dict[str, _LinkState] = {}
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __bool__(self) -> bool:
+        return bool(self._links)
+
+    def get(self, link: str) -> Optional[_LinkState]:
+        return self._links.get(link)
+
+    def links(self) -> List[str]:
+        return sorted(self._links)
+
+    def _state(self, link: str, now_ns: float) -> _LinkState:
+        s = self._links.get(link)
+        if s is None:
+            s = self._links[link] = _LinkState(link, window_start_ns=now_ns)
+        return s
+
+    def charge(
+        self,
+        link: str,
+        vni: int,
+        n_bytes: int,
+        requests: int,
+        now_ns: float,
+        capacity_bytes_per_s: float = float("inf"),
+    ) -> None:
+        """Account one batch's traffic on one link for one VNI."""
+        s = self._state(link, now_ns)
+        s.capacity_bytes_per_s = capacity_bytes_per_s
+        elapsed = now_ns - s.window_start_ns
+        if elapsed >= self.window_ns and elapsed > 0:
+            self._roll(s, elapsed, now_ns)
+        s.bytes += n_bytes
+        s.window_bytes += n_bytes
+        s.requests += requests
+        s.vni_bytes[vni] = s.vni_bytes.get(vni, 0) + n_bytes
+        s.vni_requests[vni] = s.vni_requests.get(vni, 0) + requests
+        s.vni_window_bytes[vni] = s.vni_window_bytes.get(vni, 0) + n_bytes
+
+    def _roll(self, s: _LinkState, elapsed: float, now_ns: float) -> None:
+        """Close one completed window: publish its rate, bank saturated
+        bytes per VNI if it ran at/over capacity, open the next."""
+        rate = s.window_bytes * 1e9 / elapsed
+        s.rate_bytes_per_s = rate
+        s.rates.append((now_ns, rate))
+        if rate >= s.capacity_bytes_per_s:
+            s.saturated_bytes += s.window_bytes
+            s.saturated_windows += 1
+            for vni in sorted(s.vni_window_bytes):
+                s.vni_saturated_bytes[vni] = (
+                    s.vni_saturated_bytes.get(vni, 0) + s.vni_window_bytes[vni]
+                )
+            if _TEL.enabled:
+                _TEL.add(RACK_WIDE, "fabric", "link.saturated_window", 1.0)
+        s.window_start_ns = now_ns
+        s.window_bytes = 0
+        s.vni_window_bytes.clear()
+
+    def note_state(self, link: str, up: bool, now_ns: float) -> None:
+        """Record a link health transition (downs feed flap forensics)."""
+        if not up:
+            self._state(link, now_ns).downs.append(now_ns)
+
+    # -- queries ---------------------------------------------------------------
+
+    def rate_bytes_per_s(self, link: str, now_ns: Optional[float] = None) -> float:
+        s = self._links.get(link)
+        if s is None:
+            return 0.0
+        if now_ns is None:
+            return s.rate_bytes_per_s
+        elapsed = now_ns - s.window_start_ns
+        if elapsed < self.window_ns or elapsed <= 0:
+            return s.rate_bytes_per_s
+        return s.window_bytes * 1e9 / elapsed
+
+    def utilisation(self, link: str, now_ns: Optional[float] = None) -> float:
+        s = self._links.get(link)
+        if s is None or s.capacity_bytes_per_s == float("inf"):
+            return 0.0
+        return self.rate_bytes_per_s(link, now_ns) / s.capacity_bytes_per_s
+
+    def saturated_share(self, link: str) -> Dict[int, float]:
+        """Each VNI's share of the bytes this link moved while saturated."""
+        s = self._links.get(link)
+        if s is None or s.saturated_bytes <= 0:
+            return {}
+        total = float(s.saturated_bytes)
+        return {
+            vni: b / total for vni, b in sorted(s.vni_saturated_bytes.items())
+        }
+
+    def bottleneck(self) -> Optional[str]:
+        """The link that moved the most saturated bytes (None if none)."""
+        best: Optional[str] = None
+        best_bytes = 0
+        for link in sorted(self._links):
+            sat = self._links[link].saturated_bytes
+            if sat > best_bytes:
+                best, best_bytes = link, sat
+        return best
+
+    def slope_bytes_per_s2(self, link: str) -> float:
+        """Rate-of-change of the link's windowed rate (bytes/s per s)."""
+        s = self._links.get(link)
+        if s is None or len(s.rates) < 2:
+            return 0.0
+        (t0, r0), (t1, r1) = s.rates[0], s.rates[-1]
+        if t1 <= t0:
+            return 0.0
+        return (r1 - r0) * 1e9 / (t1 - t0)
+
+    def time_to_saturation_s(
+        self, link: str, now_ns: Optional[float] = None
+    ) -> Optional[float]:
+        """Seconds until this link hits capacity at the current slope.
+
+        ``None`` means "never on current trend" (no capacity, no slope,
+        or rate falling); ``0.0`` means already saturated.
+        """
+        s = self._links.get(link)
+        if s is None or s.capacity_bytes_per_s == float("inf"):
+            return None
+        rate = self.rate_bytes_per_s(link, now_ns)
+        if rate >= s.capacity_bytes_per_s:
+            return 0.0
+        slope = self.slope_bytes_per_s2(link)
+        if slope <= 0:
+            return None
+        return (s.capacity_bytes_per_s - rate) / slope
+
+    def snapshot(self, now_ns: Optional[float] = None) -> dict:
+        """Deterministic JSON-ready dump, links sorted by id."""
+        links = []
+        for link in sorted(self._links):
+            s = self._links[link]
+            cap = s.capacity_bytes_per_s
+            tts = self.time_to_saturation_s(link, now_ns)
+            links.append({
+                "link": link,
+                "capacity_bytes_per_s": None if cap == float("inf") else cap,
+                "bytes": s.bytes,
+                "requests": s.requests,
+                "rate_bytes_per_s": round(self.rate_bytes_per_s(link, now_ns), 3),
+                "utilisation": round(self.utilisation(link, now_ns), 6),
+                "saturated_bytes": s.saturated_bytes,
+                "saturated_windows": s.saturated_windows,
+                "downs": list(s.downs),
+                "history": [[t, round(r, 3)] for t, r in s.rates],
+                "time_to_saturation_s": (
+                    None if tts is None else round(tts, 6)
+                ),
+                "vnis": [
+                    {
+                        "vni": vni,
+                        "bytes": s.vni_bytes[vni],
+                        "requests": s.vni_requests.get(vni, 0),
+                        "saturated_bytes": s.vni_saturated_bytes.get(vni, 0),
+                        "saturated_share": round(
+                            s.vni_saturated_bytes.get(vni, 0)
+                            / max(1, s.saturated_bytes), 6
+                        ),
+                    }
+                    for vni in sorted(s.vni_bytes)
+                ],
+            })
+        return {"window_ns": self.window_ns, "links": links}
+
+
 class Interconnect:
     """A fabric graph with per-link health and cached path costs."""
 
     def __init__(self, graph: Optional[nx.Graph] = None) -> None:
         self.graph = graph if graph is not None else nx.Graph()
         self._path_cache: Dict[str, PathCost] = {}
+        self._route_cache: Dict[str, Tuple[str, ...]] = {}
         #: Bumped whenever topology or link health changes; holders of
         #: path-derived memos (the machine's charge tables) compare-and-drop.
         self.generation = 0
         self._down_links: set = set()
         #: per-tenant traffic tags (VNI accounting + admission policy)
         self.vnis = VniTable()
+        #: per-link, per-VNI accounting (the attribution atlas substrate)
+        self.links = LinkTable()
         if graph is not None:
             for u, v, attrs in graph.edges(data=True):
                 if not attrs.get("up", True):
@@ -219,15 +496,36 @@ class Interconnect:
     def add_gmem(self) -> None:
         self.graph.add_node(GMEM_VERTEX, kind="gmem")
 
-    def link(self, u: str, v: str) -> None:
+    def link(
+        self, u: str, v: str, capacity_bytes_per_s: Optional[float] = None
+    ) -> None:
         self.graph.add_edge(u, v, up=True)
+        if capacity_bytes_per_s is not None:
+            self.graph.edges[u, v]["capacity_bytes_per_s"] = float(
+                capacity_bytes_per_s
+            )
         self._down_links.discard(frozenset((u, v)))
         self._path_cache.clear()
+        self._route_cache.clear()
         self.generation += 1
+
+    def set_link_capacity(self, u: str, v: str, bytes_per_s: float) -> None:
+        """Override one link's capacity (defaults to the VNI table's)."""
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"no link {u} <-> {v}")
+        self.graph.edges[u, v]["capacity_bytes_per_s"] = float(bytes_per_s)
+
+    def link_capacity(self, u: str, v: str) -> float:
+        """A link's effective capacity: its own override, else the
+        fabric-wide capacity the VNI table polices against."""
+        cap = self.graph.edges[u, v].get("capacity_bytes_per_s")
+        return float(cap) if cap is not None else self.vnis.capacity_bytes_per_s
 
     # -- health ---------------------------------------------------------------
 
-    def set_link_state(self, u: str, v: str, up: bool) -> None:
+    def set_link_state(
+        self, u: str, v: str, up: bool, now_ns: float = 0.0
+    ) -> None:
         if not self.graph.has_edge(u, v):
             raise KeyError(f"no link {u} <-> {v}")
         self.graph.edges[u, v]["up"] = up
@@ -235,7 +533,9 @@ class Interconnect:
             self._down_links.discard(frozenset((u, v)))
         else:
             self._down_links.add(frozenset((u, v)))
+            self.links.note_state(link_id(u, v), up=False, now_ns=now_ns)
         self._path_cache.clear()
+        self._route_cache.clear()
         self.generation += 1
 
     def link_is_up(self, u: str, v: str) -> bool:
@@ -271,6 +571,54 @@ class Interconnect:
         cost = PathCost(hops=hops, switches=switches)
         self._path_cache[src] = cost
         return cost
+
+    def path_links(self, node_id: int) -> Tuple[str, ...]:
+        """Canonical link ids along ``node_id``'s live route to gmem.
+
+        Cached per node and dropped on any topology/health change, like
+        :meth:`path_to_gmem`.  Routing is ``nx.shortest_path`` over the
+        live subgraph — deterministic for a given insertion order, so
+        seeded runs charge identical paths.
+        """
+        src = node_vertex(node_id)
+        cached = self._route_cache.get(src)
+        if cached is not None:
+            return cached
+        live = self.graph if not self._down_links else self._live_subgraph()
+        if src not in live or GMEM_VERTEX not in live:
+            raise InterconnectError(f"{src} or gmem not in fabric")
+        try:
+            path = nx.shortest_path(live, src, GMEM_VERTEX)
+        except nx.NetworkXNoPath as exc:
+            raise InterconnectError(f"node {node_id} cannot reach global memory") from exc
+        route = tuple(link_id(path[i], path[i + 1]) for i in range(len(path) - 1))
+        self._route_cache[src] = route
+        return route
+
+    def charge(
+        self, vni: int, node_id: int, n_bytes: int, requests: int, now_ns: float
+    ) -> None:
+        """Charge one batch to its VNI *and* to every link it traversed.
+
+        The aggregate :class:`VniTable` charge keeps admission policy
+        unchanged; the per-link charges feed the attribution atlas.  A
+        node with no live route (severed mid-flight) still charges the
+        VNI — the bytes were offered to the fabric — but no links.
+        """
+        self.vnis.charge(vni, n_bytes, requests, now_ns)
+        try:
+            route = self.path_links(node_id)
+        except InterconnectError:
+            return
+        graph_edges = self.graph.edges
+        default_cap = self.vnis.capacity_bytes_per_s
+        for link in route:
+            u, v = link_endpoints(link)
+            cap = graph_edges[u, v].get("capacity_bytes_per_s")
+            self.links.charge(
+                link, vni, n_bytes, requests, now_ns,
+                capacity_bytes_per_s=float(cap) if cap is not None else default_cap,
+            )
 
     def reachable(self, node_id: int) -> bool:
         try:

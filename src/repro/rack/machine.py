@@ -166,11 +166,15 @@ class RackMachine:
                         cache.stats.hits += 1
                         if _TEL.enabled:
                             _TEL.count(node_id, _SUB, "cache.hit")
+                        if _TEL.atlas is not None:
+                            _TEL.atlas.touch(addr, size)
                         # == _charge_cached(node, region, hits=1, misses=0)
                         node.clock._now_ns += self._hit_ns
                         lo = addr - base
                         return bytes(line.data[lo : lo + size])
         node, region, offset = self._access(node_id, addr, size)
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch(addr, size)
         if bypass_cache:
             self._charge_bulk(node, region, size, write=False)
             self._maybe_fault(region, offset, size, node_id)
@@ -211,10 +215,14 @@ class RackMachine:
                         cache.stats.hits += 1
                         if _TEL.enabled:
                             _TEL.count(node_id, _SUB, "cache.hit")
+                        if _TEL.atlas is not None:
+                            _TEL.atlas.touch(addr, size)
                         # == _charge_cached(node, region, hits=1, misses=0)
                         node.clock._now_ns += self._hit_ns
                         return
         node, region, offset = self._access(node_id, addr, size)
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch(addr, size)
         if bypass_cache:
             self._charge_bulk(node, region, len(data), write=True)
             self._maybe_fault(region, offset, len(data), node_id)
@@ -388,6 +396,9 @@ class RackMachine:
         if _TEL.enabled:
             _TEL.count(node_id, _SUB, "bypass.load")
             _TEL.count(node_id, _SUB, "bypass.store")
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch(src, size)
+            _TEL.atlas.touch(dst, size)
 
     def fill(
         self, node_id: int, addr: int, size: int, value: int, *, bypass_cache: bool = False
@@ -409,6 +420,8 @@ class RackMachine:
         region.device.fill(offset, size, value & 0xFF)
         if _TEL.enabled:
             _TEL.count(node_id, _SUB, "bypass.store")
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch(addr, size)
 
     def atomic_fetch_add_many(
         self,
@@ -454,7 +467,7 @@ class RackMachine:
             old[idx] = vals
             new = vals + d_arr[idx]
             region.device.scatter(offs, new.reshape(-1, 1).view(np.uint8))
-        self._bulk_atomic_epilogue(node, addrs, groups)
+        self._bulk_atomic_epilogue(node, addrs, groups, width)
         return old.tolist()
 
     def atomic_load_many(
@@ -480,7 +493,7 @@ class RackMachine:
         for region, idx, offs in groups:
             rows = region.device.gather(offs, width)
             out[idx] = rows.view(dtype).ravel()
-        self._bulk_atomic_epilogue(node, addrs, groups)
+        self._bulk_atomic_epilogue(node, addrs, groups, width)
         return out.tolist()
 
     def atomic_cas_many(
@@ -529,7 +542,7 @@ class RackMachine:
             swapped[idx] = hit
             result = np.where(hit, v_arr[idx], vals)
             region.device.scatter(offs, result.reshape(-1, 1).view(np.uint8))
-        self._bulk_atomic_epilogue(node, addrs, groups)
+        self._bulk_atomic_epilogue(node, addrs, groups, width)
         return list(zip(swapped.tolist(), old.tolist()))
 
     # -- cache maintenance -------------------------------------------------------------
@@ -650,8 +663,9 @@ class RackMachine:
         node.cache.invalidate(addr, len(data))
 
     def set_link_state(self, u: str, v: str, up: bool) -> None:
-        self.fabric.set_link_state(u, v, up)
-        self.faults.record_link_change(u, v, up, now_ns=self.max_time())
+        now_ns = self.max_time()
+        self.fabric.set_link_state(u, v, up, now_ns=now_ns)
+        self.faults.record_link_change(u, v, up, now_ns=now_ns)
 
     def sever_node_link(self, node_id: int, up: bool = False) -> None:
         """Take down (or restore) the first live link on the node's port."""
@@ -712,6 +726,8 @@ class RackMachine:
             _TEL.count(
                 node_id, _SUB, "atomic.global" if region.is_global else "atomic.local"
             )
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch(addr, width)
         node.cache.invalidate(addr, width)
         self._maybe_fault(region, offset, width, node_id)
         self._check_poison(region, offset, width, node_id)
@@ -894,6 +910,8 @@ class RackMachine:
         self._advance_vec(node, charges)
         if _TEL.enabled:
             _TEL.add(node.node_id, _SUB, "bypass.load", float(n))
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch_many(addrs, size)
         return out.tobytes()
 
     def _bulk_bypass_store(
@@ -955,6 +973,11 @@ class RackMachine:
         self._advance_vec(node, charges)
         if _TEL.enabled:
             _TEL.add(node.node_id, _SUB, "bypass.store", float(n))
+        atlas = _TEL.atlas
+        if atlas is not None:
+            # plan groups carry (region, idx, offs): reconstruct addresses
+            for region, _idx, offs in groups:
+                atlas.touch_many(region.base + offs, size)
         return True
 
     def _bulk_cached_load(
@@ -981,6 +1004,8 @@ class RackMachine:
         get = lines.get
         move = lines.move_to_end
         clock = node.clock
+        atlas = _TEL.atlas
+        hit_addrs: Optional[List[int]] = [] if atlas is not None else None
         t = clock._now_ns
         pend = 0
         for a in addrs:
@@ -991,6 +1016,8 @@ class RackMachine:
                     move(base)
                     pend += 1
                     t += hit_ns
+                    if hit_addrs is not None:
+                        hit_addrs.append(a)
                     lo = a - base
                     append(bytes(line.data[lo : lo + size]))
                     continue
@@ -1007,6 +1034,10 @@ class RackMachine:
             cache.stats.hits += pend
             if _TEL.enabled:
                 _TEL.add(node_id, _SUB, "cache.hit", float(pend))
+        if hit_addrs:
+            # misses routed through self.load fed the sketch already;
+            # hits flush as one aggregated batch (TelemetryState.add style)
+            atlas.touch_many(hit_addrs, size)
         return out
 
     def _bulk_cached_store(
@@ -1022,6 +1053,9 @@ class RackMachine:
         get = lines.get
         move = lines.move_to_end
         clock = node.clock
+        atlas = _TEL.atlas
+        hit_addrs: Optional[List[int]] = [] if atlas is not None else None
+        hit_sizes: List[int] = []
         t = clock._now_ns
         pend = 0
         for a, d in zip(addrs, data):
@@ -1036,6 +1070,9 @@ class RackMachine:
                     line.dirty = True
                     pend += 1
                     t += hit_ns
+                    if hit_addrs is not None:
+                        hit_addrs.append(a)
+                        hit_sizes.append(size)
                     continue
             if pend:
                 clock._now_ns = t
@@ -1050,6 +1087,8 @@ class RackMachine:
             cache.stats.hits += pend
             if _TEL.enabled:
                 _TEL.add(node_id, _SUB, "cache.hit", float(pend))
+        if hit_addrs:
+            atlas.touch_many(hit_addrs, hit_sizes)
 
     def _bulk_atomic_plan(
         self, node_id: int, addrs: Sequence[int], width: int
@@ -1108,6 +1147,7 @@ class RackMachine:
         node: Node,
         addrs: Sequence[int],
         groups: List[Tuple[Region, np.ndarray, np.ndarray]],
+        width: int = 8,
     ) -> None:
         """Charge and count a vectorized atomic batch.
 
@@ -1131,6 +1171,8 @@ class RackMachine:
                 _TEL.add(node.node_id, _SUB, "atomic.global", float(n_global))
             if n > n_global:
                 _TEL.add(node.node_id, _SUB, "atomic.local", float(n - n_global))
+        if _TEL.atlas is not None:
+            _TEL.atlas.touch_many(addrs, width)
 
     def _charge_writeback(self, node: Node, region: Region, lines: int) -> None:
         if _TEL.enabled:

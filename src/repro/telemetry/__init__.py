@@ -76,6 +76,7 @@ class TelemetryState:
         "sampling",
         "sampling_active",
         "_sample_skip",
+        "atlas",
     )
 
     def __init__(self) -> None:
@@ -88,6 +89,12 @@ class TelemetryState:
         #: hoisted ``bool(sampling)`` so the count fast path is one check
         self.sampling_active = False
         self._sample_skip: dict = {}
+        #: the resource-attribution atlas (:mod:`repro.telemetry.atlas`),
+        #: or None.  Hot paths pay one attribute check when unset, the
+        #: same contract as ``enabled`` — and the atlas keeps its own
+        #: state, never registry counters, so enabling it cannot perturb
+        #: registry digests.
+        self.atlas = None
 
     # -- switches --------------------------------------------------------------
 
@@ -107,6 +114,8 @@ class TelemetryState:
         self.registry.clear()
         self.trace.clear()
         self._sample_skip.clear()
+        if self.atlas is not None:
+            self.atlas.clear()
         return self
 
     # -- sampling --------------------------------------------------------------
@@ -184,13 +193,17 @@ class TelemetryState:
     # -- export ----------------------------------------------------------------
 
     def export_run(self, meta: Optional[dict] = None) -> dict:
-        """The whole run as one JSON-ready dict (metrics + trace)."""
-        return {
+        """The whole run as one JSON-ready dict (metrics + trace, plus
+        the attribution atlas section when one is attached)."""
+        run = {
             "schema": RUN_SCHEMA,
             "meta": meta or {},
             "metrics": self.registry.snapshot(),
             "trace": self.trace.to_chrome_trace() if self.trace.spans else None,
         }
+        if self.atlas is not None:
+            run["atlas"] = self.atlas.snapshot()
+        return run
 
     def export_json(
         self, path: Union[str, pathlib.Path], meta: Optional[dict] = None

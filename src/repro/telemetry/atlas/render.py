@@ -1,0 +1,141 @@
+"""Terminal panels over one atlas snapshot dict.
+
+Pure dict-walking (the snapshot may have been loaded from JSON), same
+``_Grid`` look as the dashboard, so these panels drop straight into
+``render_dashboard`` and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dashboard import _fmt, _Grid, _pct
+
+
+def _rate(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e9:
+        return f"{value / 1e9:.2f} GB/s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} MB/s"
+    return f"{value:,.0f} B/s"
+
+
+def render_links(snap: dict, n: Optional[int] = None) -> str:
+    """Per-link utilisation panel, busiest first."""
+    links = (snap.get("links") or {}).get("links", [])
+    rows = sorted(links, key=lambda r: (-r["bytes"], r["link"]))
+    if n is not None:
+        rows = rows[:n]
+    grid = _Grid(
+        "fabric links",
+        ["link", "bytes", "rate", "capacity", "util", "sat windows", "downs"],
+    )
+    for row in rows:
+        grid.add(
+            row["link"],
+            _fmt(row["bytes"]),
+            _rate(row["rate_bytes_per_s"]),
+            _rate(row["capacity_bytes_per_s"]),
+            _pct(row["utilisation"]),
+            _fmt(row["saturated_windows"]),
+            _fmt(len(row.get("downs", []))),
+        )
+    return grid.render()
+
+
+def render_pages(snap: dict, n: Optional[int] = 16) -> str:
+    """Hot-page top-k panel, heaviest first, with the coverage floor."""
+    sketch = snap.get("sketch") or {}
+    grid = _Grid(
+        f"hot pages (top-{sketch.get('page_k', '?')}, "
+        f"coverage >= {_pct(sketch.get('page_coverage', float('nan')))})",
+        ["page", "bytes", "error"],
+    )
+    for row in (snap.get("pages") or [])[:n]:
+        grid.add(row["addr"], _fmt(row["bytes"]), _fmt(row["error"]))
+    return grid.render()
+
+
+def render_blame(snap: dict) -> str:
+    """Contention blame: per-link saturated shares + per-tenant ledger."""
+    blame = snap.get("blame") or {}
+    parts = []
+    link_grid = _Grid(
+        "saturated-link blame",
+        ["link", "sat bytes", "tenant", "share"],
+    )
+    for row in blame.get("links", []):
+        for trow in row["tenants"]:
+            link_grid.add(
+                row["link"],
+                _fmt(row["saturated_bytes"]),
+                trow["tenant"],
+                _pct(trow["share"]),
+            )
+    parts.append(link_grid.render())
+    tenant_grid = _Grid(
+        "per-tenant contention",
+        ["tenant", "sat bytes", "bottleneck share",
+         "queue delay (ms)", "queue blame (ms)"],
+    )
+    for row in blame.get("tenants", []):
+        tenant_grid.add(
+            row["tenant"],
+            _fmt(row["saturated_bytes"]),
+            _pct(row["bottleneck_share"]),
+            f"{row['queue_delay_ns'] / 1e6:.3f}",
+            f"{row['queue_blame_ns'] / 1e6:.3f}",
+        )
+    parts.append(tenant_grid.render())
+    return "\n\n".join(parts)
+
+
+def render_headroom(snap: dict) -> str:
+    """Capacity headroom: per link and per node port."""
+    headroom = snap.get("headroom") or {}
+    parts = []
+    link_grid = _Grid(
+        "link headroom",
+        ["link", "rate", "capacity", "util", "headroom", "t-to-sat (s)"],
+    )
+    for row in headroom.get("links", []):
+        tts = row["time_to_saturation_s"]
+        link_grid.add(
+            row["link"],
+            _rate(row["rate_bytes_per_s"]),
+            _rate(row["capacity_bytes_per_s"]),
+            _pct(row["utilisation"]),
+            _rate(row["headroom_bytes_per_s"]),
+            "-" if tts is None else f"{tts:.3f}",
+        )
+    parts.append(link_grid.render())
+    node_grid = _Grid(
+        "node-port headroom",
+        ["node", "port", "util", "rate", "t-to-sat (s)"],
+    )
+    for row in headroom.get("nodes", []):
+        if not row.get("reachable", True):
+            node_grid.add(f"node{row['node']}", "SEVERED", "-", "-", "-")
+            continue
+        tts = row["time_to_saturation_s"]
+        node_grid.add(
+            f"node{row['node']}",
+            row["port"] or "-",
+            _pct(row["utilisation"]),
+            _rate(row["rate_bytes_per_s"]),
+            "-" if tts is None else f"{tts:.3f}",
+        )
+    parts.append(node_grid.render())
+    return "\n\n".join(parts)
+
+
+def render_atlas(snap: dict) -> str:
+    """The full atlas block (dashboard integration point)."""
+    parts = [render_links(snap), render_pages(snap)]
+    if (snap.get("blame") or {}).get("links") or (snap.get("blame") or {}).get("tenants"):
+        parts.append(render_blame(snap))
+    if snap.get("headroom"):
+        parts.append(render_headroom(snap))
+    return "\n\n".join(parts)

@@ -316,6 +316,11 @@ def render_dashboard(run: dict, flame: bool = True) -> str:
     if resilience:
         parts.append(resilience)
     parts.append(render_subsystems(reg))
+    if run.get("atlas"):
+        # lazy import: atlas.render imports this module's grid helpers
+        from .atlas.render import render_atlas
+
+        parts.append(render_atlas(run["atlas"]))
     if flame and run.get("trace"):
         from .spans import TraceBuffer, Span
 

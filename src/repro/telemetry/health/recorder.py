@@ -27,12 +27,20 @@ from .windows import WindowFrame
 #: Schema tag for flight-recorder dumps.  ``/2`` adds circuit-breaker
 #: transition tails, per-tenant resilience-counter tails, predictor
 #: boost records, and span args (the mitigation-side black box the
-#: incident scorer reads); ``/1`` dumps still load.
-FLIGHT_SCHEMA = "repro.telemetry.flightrec/2"
+#: incident scorer reads); ``/3`` adds the attribution-atlas tails —
+#: per-link fabric accounting (``atlas_links``, with saturated-byte
+#: blame shares and down timestamps) and the hot-page sketch rows
+#: (``atlas_pages``) — so the scorer can localise link flaps and
+#: congestion culprits; ``/1`` and ``/2`` dumps still load.
+FLIGHT_SCHEMA = "repro.telemetry.flightrec/3"
 
 #: Dump schemas :meth:`FlightRecorder.from_snapshot` / :func:`load_dump`
-#: accept.  v1 dumps simply have empty breaker/resilience/boost tails.
-ACCEPTED_SCHEMAS = ("repro.telemetry.flightrec/1", FLIGHT_SCHEMA)
+#: accept.  Older dumps simply have empty tails for the newer sections.
+ACCEPTED_SCHEMAS = (
+    "repro.telemetry.flightrec/1",
+    "repro.telemetry.flightrec/2",
+    FLIGHT_SCHEMA,
+)
 
 
 class FlightRecorder:
@@ -65,6 +73,8 @@ class FlightRecorder:
         # populated by from_snapshot so a loaded dump re-snapshots exactly
         self._static_spans: List[list] = []
         self._static_faults: Dict[str, List[dict]] = {}
+        self._static_atlas_links: List[dict] = []
+        self._static_atlas_pages: List[dict] = []
 
     # -- recording -------------------------------------------------------------
 
@@ -123,6 +133,8 @@ class FlightRecorder:
             "boosts": list(self.boosts),
             "spans": self._span_tail(trace),
             "fault_tail": self._fault_log_tail(machine),
+            "atlas_links": self._atlas_link_tail(machine, now_ns),
+            "atlas_pages": self._atlas_page_tail(),
         }
 
     def dump(
@@ -161,6 +173,8 @@ class FlightRecorder:
         rec.boosts.extend(data.get("boosts", []))
         rec._static_spans = list(data.get("spans", []))
         rec._static_faults = dict(data.get("fault_tail", {}))
+        rec._static_atlas_links = list(data.get("atlas_links", []))
+        rec._static_atlas_pages = list(data.get("atlas_pages", []))
         return rec
 
     # -- tails -----------------------------------------------------------------
@@ -192,6 +206,52 @@ class FlightRecorder:
         return {
             node: events[-self.fault_tail :] for node, events in sorted(by_node.items())
         }
+
+    def _atlas_link_tail(self, machine, now_ns: float) -> List[dict]:
+        """Per-link fabric accounting at dump time (the atlas link tail).
+
+        Always populated when a machine is given — per-link charging is
+        unconditional on the fabric, no atlas needs to be enabled — so
+        every v3 dump carries link-level blame raw material.
+        """
+        fabric = getattr(machine, "fabric", None) if machine is not None else None
+        if fabric is None:
+            return self._static_atlas_links
+        rows: List[dict] = []
+        table = fabric.links
+        for link in table.links():
+            s = table.get(link)
+            shares = table.saturated_share(link)
+            blame = []
+            for vni, share in sorted(shares.items()):
+                try:
+                    tenant = fabric.vnis.name_of(vni)
+                except Exception:
+                    tenant = f"vni:{vni}"
+                blame.append({"vni": vni, "tenant": tenant, "share": round(share, 6)})
+            rows.append(
+                {
+                    "link": link,
+                    "bytes": s.bytes,
+                    "requests": s.requests,
+                    "utilisation": round(table.utilisation(link, now_ns), 6),
+                    "saturated_bytes": s.saturated_bytes,
+                    "saturated_windows": s.saturated_windows,
+                    "downs": list(s.downs),
+                    "blame": blame,
+                }
+            )
+        return rows
+
+    def _atlas_page_tail(self, limit: int = 32) -> List[dict]:
+        """Hot-page sketch rows when an atlas is enabled, else the
+        static tail a loaded dump carried (empty for v1/v2 dumps)."""
+        from .. import TELEMETRY
+
+        atlas = TELEMETRY.atlas
+        if atlas is None:
+            return self._static_atlas_pages
+        return atlas.hot_pages(limit)
 
 
 def _jsonable(value):

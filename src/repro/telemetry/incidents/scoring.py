@@ -9,7 +9,9 @@ from any run.  Four scores, per the AIOpsLab-style ops loop:
   (rack-wide, or scoped to a ground-truth node);
 * **localization** — precision/recall/F1 of the blame set (scoped
   alerts + anomalies, breaker opens, predictor boost pages, failed
-  request-path spans) against the injected fault sites;
+  request-path spans, and — in ``/3`` dumps — the atlas link tail's
+  down-stamped links, resolved to their node endpoints) against the
+  injected fault sites;
 * **MTTM** — injection to the end of the last availability-degraded
   window (0 when mitigation never let availability dip);
 * **blast radius** — tenants with lost requests, total requests lost,
@@ -92,6 +94,15 @@ def blame_set(dump: dict, t0: float) -> Set[str]:
             target = args.get("target")
             if target is not None:
                 blame.add(f"node:{int(target)}")
+    # /3 dumps: the fabric's own per-link ledger stamps the simulated
+    # time of every link-down — resolve flapped links to their node
+    # endpoints (``link_down`` fault events carry no node id, so this
+    # is what localises a severed port)
+    for row in dump.get("atlas_links", []):
+        if any(down >= t0 for down in row.get("downs", [])):
+            for vertex in str(row.get("link", "")).split("|"):
+                if vertex.startswith("node:"):
+                    blame.add(vertex)
     return blame
 
 

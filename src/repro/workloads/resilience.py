@@ -370,7 +370,8 @@ class _HedgeOp:
         hedge_latency = completion - self.arrivals
         wins = hedge_latency < self.primary_latency
         n_wins = int(wins.sum())
-        engine.vnis.charge(st.vni, n_bytes, 0, now)
+        # hedge traffic rides the replica's fabric path, not the primary's
+        engine.fabric.charge(st.vni, replica, n_bytes, 0, now)
         if n_wins:
             st.hedge_wins += n_wins
             won_idx = self.idx[wins]

@@ -118,6 +118,9 @@ class _TenantState:
     failovers: int = 0
     dropped_shed: int = 0
     latency_sum_ns: float = 0.0
+    #: total queueing delay suffered (latency beyond pure service time) —
+    #: the victim side of the atlas's contention-blame ledger
+    queue_delay_ns: float = 0.0
     latencies: List[np.ndarray] = field(default_factory=list)
     wake: Optional[object] = None
     backend_state: object = None
@@ -359,6 +362,7 @@ class TrafficEngine:
         self.batch_window_ns = float(batch_window_ns)
         self.chunk = int(chunk)
         self.backend = backend if backend is not None else DataPlaneBackend(kernel)
+        self.fabric = self.machine.fabric
         self.vnis = self.machine.fabric.vnis
         if link_capacity_bytes_per_s is not None:
             self.vnis.capacity_bytes_per_s = float(link_capacity_bytes_per_s)
@@ -439,7 +443,9 @@ class TrafficEngine:
 
         # link guard: fabric saturated AND this tenant past its fair
         # share -> shed the whole batch before it touches the substrate
-        if self.vnis.saturated() and self.vnis.over_share(st.vni):
+        # (now-aware so a long-idle fabric never sheds on a stale rate)
+        now = self.events.now_ns
+        if self.vnis.saturated(now) and self.vnis.over_share(st.vni, now):
             st.dropped_link += n
             self.vnis.drop(st.vni, n)
             if tel:
@@ -564,11 +570,21 @@ class TrafficEngine:
         st.admitted += n
         st.latency_sum_ns += float(np.add.accumulate(latency)[-1])
         st.latencies.append(latency)
-        self.vnis.charge(st.vni, n_bytes, n, self.events.now_ns)
+        # charged along the actual routed path: aggregate VNI accounting
+        # plus every link between the tenant's node and global memory
+        self.fabric.charge(st.vni, spec.node, n_bytes, n, self.events.now_ns)
+        # queueing delay = latency beyond the batch's measured service
+        # time: the contention signal the atlas attributes to culprits
+        wait = float(np.maximum(latency - st.svc_est_ns, 0.0).sum())
+        st.queue_delay_ns += wait
         if _TEL.enabled:
             _TEL.tenant_add(spec.node, spec.name, "admitted", n)
             _TEL.tenant_add(spec.node, spec.name, "bytes", n_bytes)
+            _TEL.tenant_add(spec.node, spec.name, "queue_delay_ns", wait)
             _TEL.tenant_observe_batch(spec.node, spec.name, "latency_ns", latency)
+        atlas = _TEL.atlas
+        if atlas is not None:
+            atlas.note_queue_delay(spec.name, wait)
 
     def _total_offered(self) -> int:
         return sum(st.offered for st in self.tenants.values())
@@ -647,6 +663,7 @@ class TrafficEngine:
                 "failovers": st.failovers,
                 "dropped_shed": st.dropped_shed,
                 "latency_sum_ns": st.latency_sum_ns,
+                "queue_delay_ns": st.queue_delay_ns,
                 "busy_until_ns": st.busy_until_ns,
                 "p50_ns": float(np.percentile(lat, 50)) if len(lat) else 0.0,
                 "p99_ns": float(np.percentile(lat, 99)) if len(lat) else 0.0,

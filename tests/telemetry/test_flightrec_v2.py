@@ -67,7 +67,8 @@ def dump():
 
 class TestV2Content:
     def test_schema_and_new_sections(self, dump):
-        assert dump["schema"] == FLIGHT_SCHEMA == "repro.telemetry.flightrec/2"
+        # schema moved to /3 (atlas tails) — the v2 sections must survive
+        assert dump["schema"] == FLIGHT_SCHEMA == "repro.telemetry.flightrec/3"
         assert dump["breakers"], "crash campaign tripped no breakers"
         assert dump["resilience"], "no resilience counter samples recorded"
         for ev in dump["breakers"]:
